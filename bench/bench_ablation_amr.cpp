@@ -1,0 +1,132 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//  (a) 2:1 balance adjacency (face vs face+edge vs full corner): element
+//      overhead and ripple rounds;
+//  (b) SFC partition quality: load imbalance and fraction of elements
+//      moved, unweighted vs element-weighted;
+//  (c) hanging-node share on realistically adapted meshes.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+#include "octree/partition.hpp"
+
+using namespace alps;
+
+int main() {
+  bench::header("AMR design ablations", "design choices in Sec. IV");
+
+  // (a) balance adjacency.
+  std::printf("\n(a) 2:1 balance adjacency (level-5 refinement toward the "
+              "domain center):\n");
+  std::printf("%12s %10s %8s %10s\n", "adjacency", "elements", "rounds",
+              "overhead");
+  for (auto [name, adj] :
+       {std::pair{"face", octree::Adjacency::kFace},
+        std::pair{"face+edge", octree::Adjacency::kFaceEdge},
+        std::pair{"full(26)", octree::Adjacency::kFull}}) {
+    alps::par::run(2, [name = name, adj = adj](par::Comm& c) {
+      forest::Forest f =
+          forest::Forest::new_uniform(c, forest::Connectivity::unit_cube(), 1);
+      // Point refinement at the domain center: the deep leaves touch the
+      // untouched coarse half, so the mesh is strongly unbalanced.
+      const octree::coord_t mid = octree::coord_t{1} << (octree::kMaxLevel - 1);
+      for (int round = 0; round < 5; ++round) {
+        std::vector<std::int8_t> flags(f.tree().leaves().size(), 0);
+        for (std::size_t i = 0; i < flags.size(); ++i) {
+          const auto& o = f.tree().leaves()[i];
+          if (o.x == mid && o.y == mid && o.z == mid) flags[i] = 1;
+        }
+        f.tree().adapt(flags, 0, 7);
+      }
+      f.tree().update_ranges(c);
+      const std::int64_t before = c.allreduce_sum(f.tree().num_local());
+      const int rounds = octree::balance(c, f.tree(), adj, f.connectivity().neighbor_fn());
+      const std::int64_t after = c.allreduce_sum(f.tree().num_local());
+      if (c.rank() == 0)
+        std::printf("%12s %10lld %8d %9.2f%%\n", name,
+                    static_cast<long long>(after), rounds,
+                    100.0 * static_cast<double>(after - before) /
+                        static_cast<double>(before));
+    });
+  }
+
+  // (b) partition quality.
+  std::printf("\n(b) SFC partition (4 ranks, skewed refinement):\n");
+  std::printf("%14s %12s %12s\n", "weighting", "imbalance", "moved");
+  for (bool weighted : {false, true}) {
+    alps::par::run(4, [weighted](par::Comm& c) {
+      forest::Forest f =
+          forest::Forest::new_uniform(c, forest::Connectivity::unit_cube(), 3);
+      // Skew the load: refine twice near the low-SFC corner (no
+      // repartitioning yet), so the first rank ends up overloaded.
+      for (int round = 0; round < 2; ++round) {
+        const auto& conn = f.connectivity();
+        std::vector<std::int8_t> flags(f.tree().leaves().size(), 0);
+        for (std::size_t i = 0; i < flags.size(); ++i) {
+          const auto& o = f.tree().leaves()[i];
+          const auto h = octree::octant_len(o.level);
+          const auto pnt = conn.map_point(o.tree, o.x + h / 2, o.y + h / 2, o.z + h / 2);
+          if (pnt[0] + pnt[1] + pnt[2] < 0.8) flags[i] = 1;
+        }
+        f.tree().adapt(flags, 0, 6);
+      }
+      f.tree().update_ranges(c);
+      octree::balance(c, f.tree());
+      const std::vector<octree::Octant> before = f.tree().leaves();
+      std::vector<double> w;
+      if (weighted) {
+        // Model: refined elements carry more solver work (smaller dt).
+        w.resize(static_cast<std::size_t>(f.tree().num_local()));
+        for (std::size_t i = 0; i < w.size(); ++i)
+          w[i] = std::pow(2.0, f.tree().leaves()[i].level - 3);
+      }
+      octree::partition(c, f.tree(), {}, w);
+      std::int64_t stayed = 0;
+      std::size_t i = 0;
+      for (const auto& o : f.tree().leaves()) {
+        while (i < before.size() && octree::sfc_less(before[i], o)) ++i;
+        if (i < before.size() && before[i] == o) stayed++;
+      }
+      const std::int64_t total = c.allreduce_sum(f.tree().num_local());
+      const std::int64_t moved = total - c.allreduce_sum(stayed);
+      const double imb = octree::load_imbalance(c, f.tree());
+      if (c.rank() == 0)
+        std::printf("%14s %12.3f %11.1f%%\n",
+                    weighted ? "element-weight" : "equal-count", imb,
+                    100.0 * static_cast<double>(moved) /
+                        static_cast<double>(total));
+    });
+  }
+
+  // (c) hanging-node share.
+  std::printf("\n(c) hanging nodes on adapted meshes:\n");
+  std::printf("%8s %10s %12s %14s\n", "level", "elements", "indep dofs",
+              "hanging corners");
+  for (int level : {3, 4}) {
+    alps::par::run(2, [level](par::Comm& c) {
+      forest::Forest f = forest::Forest::new_uniform(
+          c, forest::Connectivity::unit_cube(), level);
+      bench::adapt_toward_point(c, f, {0.5, 0.5, 0.5}, 2, level + 2);
+      mesh::Mesh m = mesh::extract_mesh(c, f);
+      std::int64_t hanging = 0;
+      for (const auto& ec : m.corners)
+        for (const auto& cc : ec)
+          if (cc.hanging) hanging++;
+      hanging = c.allreduce_sum(hanging);
+      const std::int64_t ne = c.allreduce_sum(f.tree().num_local());
+      if (c.rank() == 0)
+        std::printf("%8d %10lld %12lld %14lld\n", level,
+                    static_cast<long long>(ne),
+                    static_cast<long long>(m.n_global),
+                    static_cast<long long>(hanging));
+    });
+  }
+  std::printf(
+      "\nTakeaways: face+edge balance (the paper's choice) costs only a "
+      "little more\nthan face-only but guarantees single-level hanging "
+      "constraints; SFC\npartitioning achieves near-perfect balance while "
+      "moving a bounded fraction\nof elements.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#pragma once
+// Shared helpers for the paper-reproduction benches: fixed-width table
+// printing and common workload builders. Each bench binary regenerates
+// one table or figure of the paper (see DESIGN.md experiment index) and
+// prints the paper's reported values alongside for comparison.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "forest/forest.hpp"
+#include "mesh/mesh.hpp"
+#include "par/runtime.hpp"
+
+namespace bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("NOTE: %s\n", text.c_str()); }
+
+/// Refine toward a Gaussian front to produce a realistically adapted mesh.
+inline void adapt_toward_point(alps::par::Comm& comm, alps::forest::Forest& f,
+                               const std::array<double, 3>& center, int rounds,
+                               int max_level) {
+  using alps::octree::octant_len;
+  for (int round = 0; round < rounds; ++round) {
+    const auto& conn = f.connectivity();
+    std::vector<std::int8_t> flags(f.tree().leaves().size(), 0);
+    for (std::size_t e = 0; e < flags.size(); ++e) {
+      const auto& o = f.tree().leaves()[e];
+      const auto h = octant_len(o.level);
+      const auto p = conn.map_point(o.tree, o.x + h / 2, o.y + h / 2, o.z + h / 2);
+      const double d2 = (p[0] - center[0]) * (p[0] - center[0]) +
+                        (p[1] - center[1]) * (p[1] - center[1]) +
+                        (p[2] - center[2]) * (p[2] - center[2]);
+      if (d2 < 0.15 && o.level < max_level) flags[e] = 1;
+    }
+    f.tree().adapt(flags, 0, max_level);
+    f.tree().update_ranges(comm);
+  }
+  f.balance(comm);
+  f.partition(comm);
+}
+
+/// Measured per-element host rates of the advection-AMR pipeline phases,
+/// obtained from a real single-rank calibration run. These feed the
+/// performance model (src/perf) that synthesizes the paper's large-P
+/// curves; see DESIGN.md (substitutions).
+struct AmrRates {
+  double time_integration = 0;  // s / element / time step
+  double mark = 0;              // s / element / adaptation
+  double coarsen_refine = 0;
+  double balance = 0;
+  double interpolate = 0;
+  double partition = 0;
+  double extract = 0;
+  long long elements = 0;
+  int steps = 0;
+  int adapts = 0;
+};
+
+AmrRates calibrate_advection_rates(int init_level = 4, int steps = 24,
+                                   int adapt_every = 8);
+
+}  // namespace bench

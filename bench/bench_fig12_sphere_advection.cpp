@@ -1,0 +1,128 @@
+// Fig. 12 + Sec. VII scalability text: high-order DG advection on the
+// cubed-sphere shell (24-tree forest) with dynamic adaptivity. The paper
+// shows the partition changing drastically between adjacent time steps
+// and reports 90% weak-scaling efficiency for p=4 on 16,384 cores and
+// 83% for p=6 on 32,768 cores.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "dg/advect.hpp"
+#include "octree/mark.hpp"
+#include "octree/partition.hpp"
+#include "perf/model.hpp"
+
+using namespace alps;
+
+int main() {
+  bench::header("Forest-of-octrees DG advection on the spherical shell",
+                "Fig. 12 + Sec. VII (90% weak efficiency at p=4/16,384 "
+                "cores; drastic repartitioning between steps)");
+  const int order = 2;
+  double elem_seconds = 0.0;
+  alps::par::run(2, [&](par::Comm& c) {
+    forest::Forest f =
+        forest::Forest::new_uniform(c, forest::Connectivity::cubed_sphere_shell(), 1);
+    const auto geom = dg::shell_geometry(f.connectivity(), 0.55, 1.0);
+    const auto vel = [](const std::array<double, 3>& x, double) {
+      return dg::solid_body_rotation(x, 1.0);
+    };
+    const auto front = [](const std::array<double, 3>& x) {
+      const double dx = x[0] - 0.8, dy = x[1], dz = x[2];
+      return std::exp(-120.0 * (dx * dx + dy * dy + dz * dz));
+    };
+
+    auto dg_solver = std::make_unique<dg::DgAdvection>(c, f, order, geom, vel);
+    std::vector<double> u = dg_solver->interpolate(front);
+    double t = 0.0;
+    const std::int64_t n3 = dg_solver->nodes_per_elem();
+
+    if (c.rank() == 0)
+      std::printf("\n%6s %10s %10s %14s %12s\n", "cycle", "elements",
+                  "steps", "moved-elems", "mass-drift");
+    const double mass0 = dg_solver->integral(c, u);
+    for (int cycle = 0; cycle < 4; ++cycle) {
+      // A few RK steps.
+      const double dt = dg_solver->stable_dt(c, t);
+      for (int s = 0; s < 80; ++s) {
+        dg_solver->step(c, u, t, dt);
+        t += dt;
+      }
+      // Adapt: mark from the DG gradient indicator, rebalance, move
+      // element payloads, rebuild the solver.
+      const std::vector<double> eta = dg_solver->indicator(u);
+      octree::MarkOptions mopt;
+      mopt.target_elements = 700;  // resolve the front, then track it
+      mopt.min_level = 1;
+      mopt.max_level = 3;
+      const std::vector<std::int8_t> flags =
+          octree::mark_elements(c, f.tree(), eta, mopt);
+      const std::vector<octree::Octant> old_leaves = f.tree().leaves();
+      f.tree().adapt(flags, 1, 3);
+      f.balance(c);
+      const octree::Correspondence corr =
+          octree::compute_correspondence(old_leaves, f.tree().leaves());
+      std::vector<double> u2 = dg::dg_interpolate_element_values(
+          order, old_leaves, f.tree().leaves(), corr, u);
+      // Partition and measure how much of the mesh moved (Fig. 12's
+      // drastically-changing partition).
+      const std::vector<octree::Octant> pre_part = f.tree().leaves();
+      octree::LeafPayload payload{static_cast<int>(n3), std::move(u2)};
+      octree::LeafPayload* ps[] = {&payload};
+      f.partition(c, ps);
+      u = std::move(payload.data);
+      std::int64_t stayed = 0;
+      {
+        // Elements still on this rank after repartitioning.
+        std::size_t i = 0;
+        for (const auto& o : f.tree().leaves()) {
+          while (i < pre_part.size() && octree::sfc_less(pre_part[i], o)) ++i;
+          if (i < pre_part.size() && pre_part[i] == o) stayed++;
+        }
+      }
+      const std::int64_t total = c.allreduce_sum(f.tree().num_local());
+      const std::int64_t moved = total - c.allreduce_sum(stayed);
+      dg_solver = std::make_unique<dg::DgAdvection>(c, f, order, geom, vel);
+      const double drift =
+          std::abs(dg_solver->integral(c, u) - mass0) / std::abs(mass0);
+      if (c.rank() == 0)
+        std::printf("%6d %10lld %10d %14lld %12.2e\n", cycle,
+                    static_cast<long long>(total), 80,
+                    static_cast<long long>(moved), drift);
+    }
+
+    // Host rate for the weak-efficiency model below.
+    const double t0 = perf::measure_seconds([&] {
+      std::vector<double> r(u.size());
+      dg_solver->rhs(c, u, t, r);
+    });
+    elem_seconds = t0 / static_cast<double>(dg_solver->num_local_elements());
+  });
+
+  // Weak-scaling efficiency synthesis (Sec. VII numbers).
+  const perf::MachineModel m = perf::MachineModel::ranger();
+  std::printf("\nModeled DG weak-scaling efficiency (order %d, %s):\n",
+              order, m.name.c_str());
+  std::printf("%8s %10s\n", "cores", "efficiency");
+  const double npc = 200.0;  // elements per core (high-order: few, fat elems)
+  double t1 = 0.0;
+  for (std::int64_t p = 1; p <= 32768; p *= 8) {
+    perf::PhaseCost rhs{"rhs",
+                        perf::to_model_seconds(m, elem_seconds) * npc *
+                            static_cast<double>(p),
+                        1, 8, 26,
+                        6.0 * std::pow(npc, 2.0 / 3.0) * 8.0 *
+                            std::pow(order + 1.0, 2.0)};
+    const double tp = perf::phase_time(m, rhs, p);
+    if (p == 1) t1 = tp;
+    std::printf("%8lld %9.1f%%\n", static_cast<long long>(p),
+                100.0 * t1 / tp);
+  }
+  std::printf(
+      "\nShape check vs paper: a large fraction of the mesh changes owner "
+      "at every\nadaptation step while mass stays conserved to "
+      "discretization accuracy, and\nthe modeled weak efficiency stays "
+      "high (paper: 90%% at p=4 on 16,384 cores)\nbecause high-order "
+      "elements carry much work per byte communicated.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 2 (table): weak scalability of the variable-viscosity Stokes
+// solver — MINRES iteration counts stay essentially flat as problem size
+// grows, despite severe viscosity heterogeneity.
+//
+// The paper runs 67.2K -> 539M elements on 1 -> 8192 Ranger cores. Here
+// the same solver chain (MINRES + block preconditioner with one
+// BoomerAMG-substitute V-cycle per velocity component) runs on a
+// host-sized sweep of adapted meshes; the "cores" column reports the
+// paper's equivalent core count at its ~65K elements/core granularity.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "fem/operators.hpp"
+#include "stokes/stokes.hpp"
+
+using namespace alps;
+
+namespace {
+
+double temp_field(const std::array<double, 3>& p) {
+  const double dx = p[0] - 0.5, dy = p[1] - 0.5, dz = p[2] - 0.3;
+  return std::exp(-30.0 * (dx * dx + dy * dy + dz * dz)) +
+         0.5 * std::exp(-40.0 * ((p[0] - 0.2) * (p[0] - 0.2) + dy * dy +
+                                 (p[2] - 0.7) * (p[2] - 0.7)));
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Weak scalability of the variable-viscosity Stokes solver",
+                "Fig. 2 (paper: 57/47/51/60/67/68 MINRES iterations from "
+                "271K to 2.17B dof)");
+  bench::note(
+      "Viscosity = temperature-dependent exp(-ln(1e5) T): 5 decades of "
+      "contrast, as in the paper's mantle runs.");
+
+  std::printf("%10s %10s %12s %10s %8s %10s\n", "cores(eq)", "#elem",
+              "#elem/core", "#dof", "MINRES", "relres");
+  for (int level : {2, 3, 4, 5}) {
+    alps::par::run(1, [level](par::Comm& c) {
+      forest::Forest f = forest::Forest::new_uniform(
+          c, forest::Connectivity::unit_cube(), level);
+      // Adapt once toward the thermal anomaly for a realistic mesh.
+      bench::adapt_toward_point(c, f, {0.5, 0.5, 0.3}, 1, level + 1);
+      mesh::Mesh m = mesh::extract_mesh(c, f);
+      const std::vector<double> t = fem::interpolate(m, temp_field);
+      // eta(T) = exp(-ln(1e5) T): 1 .. 1e-5.
+      std::vector<double> eta(m.elements.size() * 8);
+      for (std::size_t e = 0; e < m.elements.size(); ++e) {
+        const auto xyz = m.element_corners_xyz(f.connectivity(),
+                                               static_cast<std::int64_t>(e));
+        for (int q = 0; q < 8; ++q) {
+          const double tv = temp_field(xyz[static_cast<std::size_t>(q)]);
+          eta[8 * e + static_cast<std::size_t>(q)] =
+              std::exp(-std::log(1e5) * tv);
+        }
+      }
+      stokes::StokesOptions opt;
+      opt.krylov.rtol = 1e-6;
+      opt.krylov.max_iterations = 300;
+      stokes::StokesSolver solver(c, m, f.connectivity(), eta, opt);
+      const std::vector<double> rhs = stokes::StokesSolver::buoyancy_rhs(
+          c, m, f.connectivity(), t, 1e5, 2, opt);
+      std::vector<double> x(rhs.size(), 0.0);
+      const la::SolveResult r = solver.solve(c, rhs, x);
+      const std::int64_t ne = c.allreduce_sum(f.tree().num_local());
+      const double cores_eq = static_cast<double>(ne) / 65000.0;
+      std::printf("%10.3f %10lld %12lld %10lld %8d %10.2e\n", cores_eq,
+                  static_cast<long long>(ne), static_cast<long long>(ne),
+                  static_cast<long long>(m.n_global * 4),
+                  r.iterations, r.relative_residual);
+    });
+  }
+  std::printf(
+      "\nPaper reference (Fig. 2):\n"
+      "     cores      #elem   #elem/core       #dof  MINRES\n"
+      "         1      67.2K        67.2K       271K      57\n"
+      "         8       514K        64.2K      2.06M      47\n"
+      "        64      4.20M        65.7K      16.8M      51\n"
+      "       512      33.2M        64.9K       133M      60\n"
+      "      4096       267M        65.3K      1.07B      67\n"
+      "      8192       539M        65.9K      2.17B      68\n"
+      "Shape check: iteration counts stay in a narrow band as the problem "
+      "grows;\nthe absolute level depends on the AMG variant and "
+      "tolerance.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 7: isogranular (weak) scalability of advection-diffusion AMR at
+// ~131,000 elements/core from 1 to 62,464 cores: runtime percentage
+// breakdown into the AMR functions vs numerical time integration (top),
+// and parallel efficiency (bottom). Paper: AMR stays <= ~11% of the total
+// and efficiency stays above 50%.
+//
+// Measured per-element host rates + Ranger communication model, per
+// DESIGN.md. The per-phase communication structure mirrors the real
+// algorithms: MarkElements = threshold-iteration allreduces, BalanceTree =
+// one aggregated alltoall round per refinement level, PartitionTree =
+// bulk one-to-one data movement, ExtractMesh = ghost + numbering
+// exchange, time integration = face ghost exchange per RK stage.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "perf/model.hpp"
+
+using namespace alps;
+
+int main() {
+  bench::header("Weak scaling breakdown, advection-diffusion AMR",
+                "Fig. 7 (paper: AMR <= 11% of end-to-end time at 62,464 "
+                "cores; parallel efficiency >= 50%)");
+  const perf::MachineModel m = perf::MachineModel::ranger();
+  bench::note("Machine model: " + m.name);
+  const bench::AmrRates r = bench::calibrate_advection_rates(5, 16, 8);
+  const double npc = 131000.0;  // paper granularity
+  const int adapt_every = 32;
+
+  std::printf("\n%8s %8s %8s %8s %8s %8s %8s %8s %10s %6s\n", "cores",
+              "TimeInt%", "Mark%", "Coars/R%", "Balance%", "Partit%",
+              "Extract%", "Interp%", "AMR-total%", "eff");
+  double t1 = 0.0;
+  for (std::int64_t p = 1; p <= 62464; p *= 4) {
+    const double n = npc * static_cast<double>(p);
+    // Per 32-step adaptation window, per phase; the base run uses one
+    // core per node, so memory contention ramps in over the first 16x.
+    const double cf = perf::contention_factor(m, p, 1);
+    // Per-step synchronization straggling: OS noise and AMR imbalance
+    // amplify with the number of synchronizing cores (~1.5%/doubling).
+    const double straggle =
+        1.0 + 0.015 * std::log2(static_cast<double>(std::max<std::int64_t>(p, 1)));
+    const auto w = [&](double rate) {
+      return perf::to_model_seconds(m, rate) * n * cf;
+    };
+    const double ghost =
+        perf::ghost_bytes_per_rank(static_cast<std::int64_t>(npc), 32.0);
+    perf::PhaseCost ti{"ti", w(r.time_integration) * adapt_every, adapt_every,
+                       8, 12 * adapt_every, ghost * adapt_every};
+    perf::PhaseCost mark{"mark", w(r.mark), 40, 16, 0, 0.0};
+    perf::PhaseCost coar{"coarsen", w(r.coarsen_refine), 0, 8, 0, 0.0};
+    perf::PhaseCost bal{"balance", w(r.balance), 10, 8, 10 * 18,
+                        10.0 * 18.0 * 20.0};
+    perf::PhaseCost part{"partition", w(r.partition), 2, 8, 8,
+                         npc * 8.0 * 8.0 * 0.5};
+    perf::PhaseCost extr{"extract", w(r.extract), 3, 8, 26, ghost * 2};
+    perf::PhaseCost intp{"interp", w(r.interpolate), 0, 8, 0, 0.0};
+    const double t_ti = perf::phase_time(m, ti, p) * straggle;
+    const double t_mark = perf::phase_time(m, mark, p) * straggle;
+    const double t_coar = perf::phase_time(m, coar, p) * straggle;
+    const double t_bal = perf::phase_time(m, bal, p) * straggle;
+    const double t_part = perf::phase_time(m, part, p) * straggle;
+    const double t_extr = perf::phase_time(m, extr, p) * straggle;
+    const double t_intp = perf::phase_time(m, intp, p) * straggle;
+    const double total =
+        t_ti + t_mark + t_coar + t_bal + t_part + t_extr + t_intp;
+    if (p == 1) t1 = total;
+    const double amr = total - t_ti;
+    std::printf("%8lld %8.1f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %10.1f %6.2f\n",
+                static_cast<long long>(p), 100.0 * t_ti / total,
+                100.0 * t_mark / total, 100.0 * t_coar / total,
+                100.0 * t_bal / total, 100.0 * t_part / total,
+                100.0 * t_extr / total, 100.0 * t_intp / total,
+                100.0 * amr / total, t1 / total);
+  }
+  std::printf(
+      "\nShape check vs paper: time integration dominates throughout, "
+      "ExtractMesh\nis the most expensive AMR function, the total AMR "
+      "share grows slowly with\ncore count but stays a small fraction, "
+      "and efficiency decays gently (paper:\n>= 50%% at 62K cores; exact "
+      "numbers depend on the network model).\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// High-order DG advection on the cubed-sphere shell (the paper's Sec. VII
+// / Fig. 12 configuration): a thermal front advected by solid-body
+// rotation on the 24-tree forest, with dynamic adaptivity following the
+// front and SFC repartitioning after every adaptation.
+//
+// Writes sphere_front_<n>.csv (x,y,z,c columns, element centers) per
+// snapshot for plotting.
+//
+// Run:  ./spherical_advection [order] [cycles] [ranks]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "dg/advect.hpp"
+#include "octree/mark.hpp"
+#include "octree/partition.hpp"
+#include "par/runtime.hpp"
+
+using namespace alps;
+
+int main(int argc, char** argv) {
+  const int order = argc > 1 ? std::max(1, std::atoi(argv[1])) : 3;
+  const int cycles = argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
+  const int ranks = argc > 3 ? std::max(1, std::atoi(argv[3])) : 2;
+  std::printf("MANGLL-style DG advection on the spherical shell "
+              "(order %d, %d adaptation cycles, %d ranks)\n",
+              order, cycles, ranks);
+
+  alps::par::run(ranks, [order, cycles](par::Comm& comm) {
+    forest::Forest forest = forest::Forest::new_uniform(
+        comm, forest::Connectivity::cubed_sphere_shell(), 1);
+    const auto geom = dg::shell_geometry(forest.connectivity(), 0.55, 1.0);
+    const auto vel = [](const std::array<double, 3>& x, double) {
+      return dg::solid_body_rotation(x, 1.0);
+    };
+    const auto front = [](const std::array<double, 3>& x) {
+      const double dx = x[0] - 0.8, dy = x[1], dz = x[2];
+      return std::exp(-100.0 * (dx * dx + dy * dy + dz * dz));
+    };
+
+    auto solver =
+        std::make_unique<dg::DgAdvection>(comm, forest, order, geom, vel);
+    std::vector<double> u = solver->interpolate(front);
+    const double mass0 = solver->integral(comm, u);
+    double t = 0.0;
+
+    if (comm.rank() == 0)
+      std::printf("\n%6s %10s %10s %12s %10s\n", "cycle", "time", "elements",
+                  "mass-drift", "max(c)");
+    for (int cyc = 0; cyc < cycles; ++cyc) {
+      const double dt = solver->stable_dt(comm, t);
+      for (int s = 0; s < 40; ++s) {
+        solver->step(comm, u, t, dt);
+        t += dt;
+      }
+      // Adapt toward the front, balance, move DG payloads, repartition.
+      const std::vector<double> eta = solver->indicator(u);
+      octree::MarkOptions mopt;
+      mopt.target_elements = 600;
+      mopt.min_level = 1;
+      mopt.max_level = 3;
+      const auto flags = octree::mark_elements(comm, forest.tree(), eta, mopt);
+      const std::vector<octree::Octant> old_leaves = forest.tree().leaves();
+      forest.tree().adapt(flags, 1, 3);
+      forest.balance(comm);
+      const auto corr =
+          octree::compute_correspondence(old_leaves, forest.tree().leaves());
+      std::vector<double> u2 = dg::dg_interpolate_element_values(
+          order, old_leaves, forest.tree().leaves(), corr, u);
+      octree::LeafPayload payload{static_cast<int>(solver->nodes_per_elem()),
+                                  std::move(u2)};
+      octree::LeafPayload* ps[] = {&payload};
+      forest.partition(comm, ps);
+      u = std::move(payload.data);
+      solver = std::make_unique<dg::DgAdvection>(comm, forest, order, geom, vel);
+
+      const double mass = solver->integral(comm, u);
+      double umax = 0;
+      for (double v : u) umax = std::max(umax, v);
+      umax = comm.allreduce_max(umax);
+      const std::int64_t ne = comm.allreduce_sum(forest.tree().num_local());
+      if (comm.rank() == 0)
+        std::printf("%6d %10.3f %10lld %12.2e %10.3f\n", cyc, t,
+                    static_cast<long long>(ne),
+                    std::abs(mass - mass0) / std::abs(mass0), umax);
+
+      // Snapshot CSV: element-center value.
+      std::vector<double> rows;
+      const std::int64_t n3 = solver->nodes_per_elem();
+      for (std::int64_t e = 0; e < solver->num_local_elements(); ++e) {
+        const auto x = solver->node_xyz(e, n3 / 2);
+        double cavg = 0;
+        for (std::int64_t k = 0; k < n3; ++k)
+          cavg += u[static_cast<std::size_t>(e * n3 + k)];
+        rows.insert(rows.end(),
+                    {x[0], x[1], x[2], cavg / static_cast<double>(n3)});
+      }
+      const std::vector<double> all = comm.allgatherv(rows);
+      if (comm.rank() == 0) {
+        char name[64];
+        std::snprintf(name, sizeof name, "sphere_front_%d.csv", cyc);
+        std::ofstream out(name);
+        out << "x,y,z,c\n";
+        for (std::size_t i = 0; i + 3 < all.size(); i += 4)
+          out << all[i] << ',' << all[i + 1] << ',' << all[i + 2] << ','
+              << all[i + 3] << '\n';
+      }
+    }
+    if (comm.rank() == 0)
+      std::printf("\nwrote sphere_front_<n>.csv snapshots; the refined band "
+                  "follows the rotating front, as in Fig. 12.\n");
+  });
+  return 0;
+}

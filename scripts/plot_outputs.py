@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Plot the CSV snapshots written by the examples.
+
+Usage:
+  python3 scripts/plot_outputs.py mantle_slice_2.csv      # x-z temperature slice
+  python3 scripts/plot_outputs.py sphere_front_1.csv      # 3D scatter of the front
+
+Requires matplotlib. The examples write these files into the current
+working directory:
+  mantle_slice_<n>.csv   columns x,z,T,eta   (examples/mantle_convection)
+  sphere_front_<n>.csv   columns x,y,z,c     (examples/spherical_advection)
+"""
+
+import csv
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        cols = {name: [] for name in header}
+        for row in reader:
+            for name, val in zip(header, row):
+                cols[name].append(float(val))
+    return cols
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 1
+    path = sys.argv[1]
+    cols = load(path)
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    out = path.rsplit(".", 1)[0] + ".png"
+    if "T" in cols:  # mantle slice
+        fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(14, 4))
+        s1 = ax1.scatter(cols["x"], cols["z"], c=cols["T"], s=12, cmap="inferno")
+        fig.colorbar(s1, ax=ax1, label="T")
+        ax1.set_title("temperature")
+        import math
+
+        logeta = [math.log10(v) for v in cols["eta"]]
+        s2 = ax2.scatter(cols["x"], cols["z"], c=logeta, s=12, cmap="viridis")
+        fig.colorbar(s2, ax=ax2, label="log10 eta")
+        ax2.set_title("viscosity")
+        for ax in (ax1, ax2):
+            ax.set_xlabel("x")
+            ax.set_ylabel("z")
+    else:  # spherical front
+        fig = plt.figure(figsize=(6, 6))
+        ax = fig.add_subplot(projection="3d")
+        s = ax.scatter(cols["x"], cols["y"], cols["z"], c=cols["c"], s=10,
+                       cmap="inferno")
+        fig.colorbar(s, ax=ax, label="c")
+        ax.set_title("advected front on the spherical shell")
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+#pragma once
+// Pointwise smoothers for the AMG hierarchy.
+
+#include <span>
+
+#include "la/csr.hpp"
+
+namespace alps::amg {
+
+/// One Gauss-Seidel sweep on A x = b, in place. forward=false sweeps rows
+/// in reverse order (used to make the V-cycle symmetric).
+void gauss_seidel(const la::Csr& a, std::span<const double> b,
+                  std::span<double> x, bool forward);
+
+/// One weighted-Jacobi sweep: x += w D^{-1} (b - A x).
+void jacobi(const la::Csr& a, std::span<const double> diag,
+            std::span<const double> b, std::span<double> x, double weight);
+
+}  // namespace alps::amg

@@ -1,0 +1,49 @@
+#include "dg/geometry.hpp"
+
+#include <cmath>
+
+namespace alps::dg {
+
+GeometryFn brick_geometry(const forest::Connectivity& conn) {
+  return [&conn](std::int32_t tree, const std::array<double, 3>& ref) {
+    const auto& tc = conn.tree_corners()[static_cast<std::size_t>(tree)];
+    std::array<double, 3> p{};
+    for (int k = 0; k < 8; ++k) {
+      const double w = ((k & 1) ? ref[0] : 1.0 - ref[0]) *
+                       ((k & 2) ? ref[1] : 1.0 - ref[1]) *
+                       ((k & 4) ? ref[2] : 1.0 - ref[2]);
+      for (int d = 0; d < 3; ++d)
+        p[static_cast<std::size_t>(d)] +=
+            w * tc[static_cast<std::size_t>(k)][static_cast<std::size_t>(d)];
+    }
+    return p;
+  };
+}
+
+GeometryFn shell_geometry(const forest::Connectivity& conn, double r_inner,
+                          double r_outer) {
+  return [&conn, r_inner, r_outer](std::int32_t tree,
+                                   const std::array<double, 3>& ref) {
+    const auto& tc = conn.tree_corners()[static_cast<std::size_t>(tree)];
+    // Bilinear blend of the four inner corners (bit2 == 0) on the cube.
+    std::array<double, 3> c{};
+    for (int k = 0; k < 4; ++k) {
+      const double w =
+          ((k & 1) ? ref[0] : 1.0 - ref[0]) * ((k & 2) ? ref[1] : 1.0 - ref[1]);
+      for (int d = 0; d < 3; ++d)
+        c[static_cast<std::size_t>(d)] +=
+            w * tc[static_cast<std::size_t>(k)][static_cast<std::size_t>(d)];
+    }
+    const double norm = std::sqrt(c[0] * c[0] + c[1] * c[1] + c[2] * c[2]);
+    const double r = r_inner + ref[2] * (r_outer - r_inner);
+    return std::array<double, 3>{r * c[0] / norm, r * c[1] / norm,
+                                 r * c[2] / norm};
+  };
+}
+
+std::array<double, 3> solid_body_rotation(const std::array<double, 3>& x,
+                                          double omega) {
+  return {-omega * x[1], omega * x[0], 0.0};
+}
+
+}  // namespace alps::dg

@@ -1,0 +1,31 @@
+#pragma once
+// Geometry mappings for the DG module: reference coordinates within a
+// tree ([0,1]^3) to physical space. Bricks use the trilinear blend of the
+// connectivity's tree corners; the spherical shell uses the cubed-sphere
+// projection (paper Sec. VII, Fig. 12).
+
+#include <functional>
+
+#include "forest/connectivity.hpp"
+
+namespace alps::dg {
+
+using GeometryFn = std::function<std::array<double, 3>(
+    std::int32_t tree, const std::array<double, 3>& ref)>;
+
+/// Trilinear blend of the connectivity's tree corner positions.
+GeometryFn brick_geometry(const forest::Connectivity& conn);
+
+/// Cubed-sphere shell of inner/outer radius: lateral position from the
+/// normalized direction of the tree's inner-face bilinear blend, radial
+/// position linear in the third reference coordinate. Built for
+/// Connectivity::cubed_sphere_shell().
+GeometryFn shell_geometry(const forest::Connectivity& conn, double r_inner,
+                          double r_outer);
+
+/// Solid-body rotation about the z axis: u = omega x r (divergence-free,
+/// tangential to spheres) — the advecting field for the Fig. 12 runs.
+std::array<double, 3> solid_body_rotation(const std::array<double, 3>& x,
+                                          double omega);
+
+}  // namespace alps::dg

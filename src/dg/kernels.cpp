@@ -1,0 +1,82 @@
+#include "dg/kernels.hpp"
+
+#include <cstring>
+
+namespace alps::dg {
+
+DerivativeKernel::DerivativeKernel(int order)
+    : order_(order), rule_(lgl_rule(order)), d1_(differentiation_matrix(rule_)) {
+  // Fused 3D derivative matrix: rows [0,n3) = d/dx, [n3,2n3) = d/dy,
+  // [2n3,3n3) = d/dz, each (p+1)^3 x (p+1)^3. Node index = (k*n + j)*n + i.
+  const std::int64_t n = n1d();
+  const std::int64_t n3 = n * n * n;
+  big_.assign(static_cast<std::size_t>(3 * n3 * n3), 0.0);
+  const auto node = [n](std::int64_t i, std::int64_t j, std::int64_t k) {
+    return (k * n + j) * n + i;
+  };
+  for (std::int64_t k = 0; k < n; ++k)
+    for (std::int64_t j = 0; j < n; ++j)
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t r = node(i, j, k);
+        for (std::int64_t m = 0; m < n; ++m) {
+          big_[static_cast<std::size_t>(r * n3 + node(m, j, k))] +=
+              d1_[static_cast<std::size_t>(i * n + m)];
+          big_[static_cast<std::size_t>((n3 + r) * n3 + node(i, m, k))] +=
+              d1_[static_cast<std::size_t>(j * n + m)];
+          big_[static_cast<std::size_t>((2 * n3 + r) * n3 + node(i, j, m))] +=
+              d1_[static_cast<std::size_t>(k * n + m)];
+        }
+      }
+}
+
+void DerivativeKernel::apply_tensor(std::span<const double> u,
+                                    std::span<double> ux, std::span<double> uy,
+                                    std::span<double> uz) const {
+  const std::int64_t n = n1d();
+  const auto node = [n](std::int64_t i, std::int64_t j, std::int64_t k) {
+    return static_cast<std::size_t>((k * n + j) * n + i);
+  };
+  for (std::int64_t k = 0; k < n; ++k)
+    for (std::int64_t j = 0; j < n; ++j)
+      for (std::int64_t i = 0; i < n; ++i) {
+        double sx = 0, sy = 0, sz = 0;
+        for (std::int64_t m = 0; m < n; ++m) {
+          sx += d1_[static_cast<std::size_t>(i * n + m)] * u[node(m, j, k)];
+          sy += d1_[static_cast<std::size_t>(j * n + m)] * u[node(i, m, k)];
+          sz += d1_[static_cast<std::size_t>(k * n + m)] * u[node(i, j, m)];
+        }
+        ux[node(i, j, k)] = sx;
+        uy[node(i, j, k)] = sy;
+        uz[node(i, j, k)] = sz;
+      }
+}
+
+void blocked_gemv(std::span<const double> a, std::int64_t rows,
+                  std::int64_t cols, std::span<const double> x,
+                  std::span<double> y) {
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t r = 0; r < rows; ++r) y[static_cast<std::size_t>(r)] = 0.0;
+  for (std::int64_t cb = 0; cb < cols; cb += kBlock) {
+    const std::int64_t ce = std::min(cb + kBlock, cols);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const double* row = a.data() + r * cols;
+      double s = 0.0;
+      for (std::int64_t c = cb; c < ce; ++c)
+        s += row[c] * x[static_cast<std::size_t>(c)];
+      y[static_cast<std::size_t>(r)] += s;
+    }
+  }
+}
+
+void DerivativeKernel::apply_matrix(std::span<const double> u,
+                                    std::span<double> ux, std::span<double> uy,
+                                    std::span<double> uz) const {
+  const std::int64_t n3 = nodes_per_elem();
+  std::vector<double> out(static_cast<std::size_t>(3 * n3));
+  blocked_gemv(big_, 3 * n3, n3, u, out);
+  std::memcpy(ux.data(), out.data(), static_cast<std::size_t>(n3) * sizeof(double));
+  std::memcpy(uy.data(), out.data() + n3, static_cast<std::size_t>(n3) * sizeof(double));
+  std::memcpy(uz.data(), out.data() + 2 * n3, static_cast<std::size_t>(n3) * sizeof(double));
+}
+
+}  // namespace alps::dg

@@ -1,0 +1,64 @@
+#pragma once
+// Element derivative kernels (paper Sec. VII): the tensor-product
+// application (6(p+1)^4 flops, asymptotically work-optimal) versus the
+// matrix-based application (6(p+1)^6 flops but one large cache-friendly
+// dgemm). Both compute the three reference-space derivatives of a nodal
+// field on the (p+1)^3 tensor grid; flop counts are tracked so the
+// benches can report sustained rates and the crossover point.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dg/lgl.hpp"
+
+namespace alps::dg {
+
+class DerivativeKernel {
+ public:
+  explicit DerivativeKernel(int order);
+
+  int order() const { return order_; }
+  int n1d() const { return order_ + 1; }
+  std::int64_t nodes_per_elem() const {
+    return static_cast<std::int64_t>(n1d()) * n1d() * n1d();
+  }
+
+  /// Tensor-product application: out_d = (D x I x I etc.) u.
+  /// `u` has nodes_per_elem() entries; each out_* the same.
+  void apply_tensor(std::span<const double> u, std::span<double> ux,
+                    std::span<double> uy, std::span<double> uz) const;
+
+  /// Matrix-based application: three dense (p+1)^3 x (p+1)^3 operators,
+  /// fused into one matrix of shape (3n x n) and applied with a blocked
+  /// dgemm (the GotoBLAS stand-in).
+  void apply_matrix(std::span<const double> u, std::span<double> ux,
+                    std::span<double> uy, std::span<double> uz) const;
+
+  /// Flops per element per application.
+  std::int64_t flops_tensor() const {
+    const std::int64_t n = n1d();
+    return 6 * n * n * n * n;
+  }
+  std::int64_t flops_matrix() const {
+    const std::int64_t n = n1d();
+    return 6 * n * n * n * n * n * n;
+  }
+
+  const LglRule& rule() const { return rule_; }
+  std::span<const double> d1() const { return d1_; }
+
+ private:
+  int order_;
+  LglRule rule_;
+  std::vector<double> d1_;   // (p+1)^2 1D differentiation matrix
+  std::vector<double> big_;  // (3n x n) fused 3D derivative matrix
+};
+
+/// Blocked dense matrix-vector-ish product: y = A x with A (rows x cols)
+/// row-major. Kept here so benches can time it in isolation.
+void blocked_gemv(std::span<const double> a, std::int64_t rows,
+                  std::int64_t cols, std::span<const double> x,
+                  std::span<double> y);
+
+}  // namespace alps::dg

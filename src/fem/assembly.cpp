@@ -1,0 +1,136 @@
+#include "fem/assembly.hpp"
+
+#include <algorithm>
+
+namespace alps::fem {
+
+void ElementOperator::gather_element(std::size_t e, std::span<const double> x,
+                                     std::span<double> xe) const {
+  const std::size_t nc = static_cast<std::size_t>(ncomp_);
+  for (int i = 0; i < 8; ++i) {
+    const mesh::Corner& cc = mesh_->corners[e][static_cast<std::size_t>(i)];
+    for (std::size_t c = 0; c < nc; ++c) {
+      double v = 0.0;
+      for (int k = 0; k < cc.n; ++k)
+        v += cc.w[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(cc.dof[static_cast<std::size_t>(k)]) * nc + c];
+      xe[static_cast<std::size_t>(i) * nc + c] = v;
+    }
+  }
+}
+
+void ElementOperator::scatter_element(std::size_t e, std::span<const double> ye,
+                                      std::span<double> y) const {
+  const std::size_t nc = static_cast<std::size_t>(ncomp_);
+  for (int i = 0; i < 8; ++i) {
+    const mesh::Corner& cc = mesh_->corners[e][static_cast<std::size_t>(i)];
+    for (std::size_t c = 0; c < nc; ++c) {
+      const double v = ye[static_cast<std::size_t>(i) * nc + c];
+      for (int k = 0; k < cc.n; ++k)
+        y[static_cast<std::size_t>(cc.dof[static_cast<std::size_t>(k)]) * nc + c] +=
+            cc.w[static_cast<std::size_t>(k)] * v;
+    }
+  }
+}
+
+void ElementOperator::apply_raw(par::Comm& comm, std::span<const double> x,
+                                std::span<double> y) const {
+  const std::size_t bs = block_size();
+  std::fill(y.begin(), y.end(), 0.0);
+  std::vector<double> xe(bs), ye(bs);
+  for (std::size_t e = 0; e < mesh_->elements.size(); ++e) {
+    gather_element(e, x, xe);
+    const std::span<const double> m = element_matrix(e);
+    for (std::size_t i = 0; i < bs; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < bs; ++j) s += m[i * bs + j] * xe[j];
+      ye[i] = s;
+    }
+    scatter_element(e, ye, y);
+  }
+  mesh_->accumulate(comm, y, ncomp_);
+  mesh_->exchange(comm, y, ncomp_);
+}
+
+void ElementOperator::apply(par::Comm& comm, std::span<const double> x,
+                            std::span<double> y) const {
+  // Zero constrained inputs, apply, then restore identity on them.
+  std::vector<double> xt(x.begin(), x.end());
+  for (std::size_t i = 0; i < xt.size(); ++i)
+    if (dirichlet_[i]) xt[i] = 0.0;
+  apply_raw(comm, xt, y);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (dirichlet_[i]) y[i] = x[i];
+}
+
+double ElementOperator::dot(par::Comm& comm, std::span<const double> a,
+                            std::span<const double> b) const {
+  const std::size_t owned =
+      static_cast<std::size_t>(mesh_->n_owned) * static_cast<std::size_t>(ncomp_);
+  double s = 0.0;
+  for (std::size_t i = 0; i < owned; ++i) s += a[i] * b[i];
+  return comm.allreduce_sum(s);
+}
+
+void ElementOperator::lift_bcs(par::Comm& comm, std::span<const double> g,
+                               std::span<double> b) const {
+  std::vector<double> ag(b.size());
+  apply_raw(comm, g, ag);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (dirichlet_[i])
+      b[i] = g[i];
+    else
+      b[i] -= ag[i];
+  }
+}
+
+la::Csr ElementOperator::assemble_global(par::Comm& comm) const {
+  const std::size_t nc = static_cast<std::size_t>(ncomp_);
+  const std::int64_t n = mesh_->n_global * ncomp_;
+  std::vector<la::Triplet> trips;
+  const std::size_t bs = block_size();
+  for (std::size_t e = 0; e < mesh_->elements.size(); ++e) {
+    const std::span<const double> m = element_matrix(e);
+    for (int i = 0; i < 8; ++i) {
+      const mesh::Corner& ci = mesh_->corners[e][static_cast<std::size_t>(i)];
+      for (int j = 0; j < 8; ++j) {
+        const mesh::Corner& cj = mesh_->corners[e][static_cast<std::size_t>(j)];
+        for (std::size_t a = 0; a < nc; ++a)
+          for (std::size_t bcomp = 0; bcomp < nc; ++bcomp) {
+            const double v = m[(static_cast<std::size_t>(i) * nc + a) * bs +
+                               static_cast<std::size_t>(j) * nc + bcomp];
+            if (v == 0.0) continue;
+            for (int ki = 0; ki < ci.n; ++ki) {
+              const std::int32_t di = ci.dof[static_cast<std::size_t>(ki)];
+              if (dirichlet_[static_cast<std::size_t>(di) * nc + a]) continue;
+              for (int kj = 0; kj < cj.n; ++kj) {
+                const std::int32_t dj = cj.dof[static_cast<std::size_t>(kj)];
+                if (dirichlet_[static_cast<std::size_t>(dj) * nc + bcomp])
+                  continue;
+                trips.push_back(la::Triplet{
+                    mesh_->dof_gids[static_cast<std::size_t>(di)] * ncomp_ +
+                        static_cast<std::int64_t>(a),
+                    mesh_->dof_gids[static_cast<std::size_t>(dj)] * ncomp_ +
+                        static_cast<std::int64_t>(bcomp),
+                    ci.w[static_cast<std::size_t>(ki)] *
+                        cj.w[static_cast<std::size_t>(kj)] * v});
+              }
+            }
+          }
+      }
+    }
+  }
+  // Identity rows for owned Dirichlet values.
+  for (std::int64_t d = 0; d < mesh_->n_owned; ++d)
+    for (std::size_t c = 0; c < nc; ++c)
+      if (dirichlet_[static_cast<std::size_t>(d) * nc + c]) {
+        const std::int64_t g =
+            mesh_->dof_gids[static_cast<std::size_t>(d)] * ncomp_ +
+            static_cast<std::int64_t>(c);
+        trips.push_back(la::Triplet{g, g, 1.0});
+      }
+  std::vector<la::Triplet> all = comm.allgatherv(trips);
+  return la::Csr::from_triplets(n, n, std::move(all));
+}
+
+}  // namespace alps::fem

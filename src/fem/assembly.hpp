@@ -1,0 +1,98 @@
+#pragma once
+// Distributed finite-element operator machinery. Element matrices are
+// stored per local element; hanging-node constraints are applied at the
+// element level (gather C x, element matvec, scatter C^T y), exactly the
+// strategy the paper describes. Dirichlet conditions are eliminated
+// symmetrically (identity rows/columns).
+//
+// Multi-component fields use node-major layout: value index =
+// local_dof * ncomp + component.
+
+#include <span>
+#include <vector>
+
+#include "la/csr.hpp"
+#include "la/krylov.hpp"
+#include "mesh/mesh.hpp"
+
+namespace alps::fem {
+
+class ElementOperator {
+ public:
+  ElementOperator(const mesh::Mesh* m, int ncomp)
+      : mesh_(m), ncomp_(ncomp),
+        mats_(m->elements.size() * block_size() * block_size(), 0.0),
+        dirichlet_(static_cast<std::size_t>(m->n_local) * ncomp, 0) {}
+
+  int ncomp() const { return ncomp_; }
+  std::size_t block_size() const { return 8 * static_cast<std::size_t>(ncomp_); }
+  const mesh::Mesh& mesh() const { return *mesh_; }
+
+  /// Mutable element matrix block e, row-major (8*ncomp)^2.
+  std::span<double> element_matrix(std::size_t e) {
+    const std::size_t b = block_size() * block_size();
+    return std::span<double>(mats_).subspan(e * b, b);
+  }
+  std::span<const double> element_matrix(std::size_t e) const {
+    const std::size_t b = block_size() * block_size();
+    return std::span<const double>(mats_).subspan(e * b, b);
+  }
+
+  /// Mark value (dof, comp) as Dirichlet-constrained.
+  void set_dirichlet(std::int64_t dof, int comp) {
+    dirichlet_[static_cast<std::size_t>(dof) * ncomp_ +
+               static_cast<std::size_t>(comp)] = 1;
+  }
+  bool is_dirichlet(std::int64_t dof, int comp) const {
+    return dirichlet_[static_cast<std::size_t>(dof) * ncomp_ +
+                      static_cast<std::size_t>(comp)] != 0;
+  }
+
+  /// y = A x with Dirichlet rows acting as identity. x must be ghost-
+  /// consistent; y comes back ghost-consistent. Collective.
+  void apply(par::Comm& comm, std::span<const double> x,
+             std::span<double> y) const;
+
+  /// y = A x without any boundary handling (used for RHS lifting).
+  void apply_raw(par::Comm& comm, std::span<const double> x,
+                 std::span<double> y) const;
+
+  /// Globally-consistent inner product over owned values.
+  double dot(par::Comm& comm, std::span<const double> a,
+             std::span<const double> b) const;
+
+  /// Move inhomogeneous boundary values `g` (zero at interior) into the
+  /// right-hand side: b -= A g, then b = g on the boundary. Collective.
+  void lift_bcs(par::Comm& comm, std::span<const double> g,
+                std::span<double> b) const;
+
+  /// Gather the fully-assembled global matrix (with identity Dirichlet
+  /// rows) on every rank — the serial-AMG substitution for BoomerAMG
+  /// documented in DESIGN.md. Collective.
+  la::Csr assemble_global(par::Comm& comm) const;
+
+  /// Adapters for the Krylov drivers.
+  la::LinOp as_linop(par::Comm& comm) const {
+    return [this, &comm](std::span<const double> x, std::span<double> y) {
+      apply(comm, x, y);
+    };
+  }
+  la::DotFn as_dot(par::Comm& comm) const {
+    return [this, &comm](std::span<const double> a, std::span<const double> b) {
+      return dot(comm, a, b);
+    };
+  }
+
+ private:
+  void gather_element(std::size_t e, std::span<const double> x,
+                      std::span<double> xe) const;
+  void scatter_element(std::size_t e, std::span<const double> ye,
+                       std::span<double> y) const;
+
+  const mesh::Mesh* mesh_;
+  int ncomp_;
+  std::vector<double> mats_;
+  std::vector<std::uint8_t> dirichlet_;
+};
+
+}  // namespace alps::fem

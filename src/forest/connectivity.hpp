@@ -1,0 +1,97 @@
+#pragma once
+// Forest-of-octrees connectivity (paper Sec. VII, the P4EST idea): a
+// domain decomposed into hexahedron-mappable subdomains, each the root of
+// an adaptive octree, glued along faces with coordinate transforms.
+//
+// Connectivity is built from the geometric corner positions of each tree
+// (p4est's "vertices"): shared faces are discovered by matching corner
+// sets, and each inter-tree transform — a signed axis permutation plus
+// translation — is derived from the vertex correspondence. This supports
+// bricks (with optional periodicity) and the cubed-sphere shell used for
+// the spherical advection experiments (6 caps x 4 trees = 24 trees).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "octree/octant.hpp"
+
+namespace alps::forest {
+
+using octree::coord_t;
+using octree::kMaxLevel;
+using octree::Octant;
+
+/// Corner positions of one tree in an arbitrary integer lattice; corner
+/// order follows octant child order (bit0 -> +x, bit1 -> +y, bit2 -> +z).
+using TreeCorners = std::array<std::array<int, 3>, 8>;
+
+/// Affine transform between neighboring trees' coordinate systems,
+/// evaluated on doubled coordinates (so octant centers stay integral).
+struct FaceTransform {
+  std::int32_t nbr_tree = -1;  // -1: physical boundary
+  std::int8_t nbr_face = -1;
+  std::array<std::array<std::int8_t, 3>, 3> rot{};  // signed permutation
+  std::array<std::int64_t, 3> trans{};              // doubled units
+};
+
+class Connectivity {
+ public:
+  /// Single unit-cube tree, all faces physical boundary.
+  static Connectivity unit_cube();
+
+  /// nx x ny x nz grid of trees with identity gluing; per-axis periodicity.
+  static Connectivity brick(int nx, int ny, int nz, bool period_x = false,
+                            bool period_y = false, bool period_z = false);
+
+  /// Generic construction from per-tree corner positions. Faces sharing
+  /// the same 4 corners are glued; transforms derived from the vertex
+  /// correspondence.
+  static Connectivity from_corners(const std::vector<TreeCorners>& corners);
+
+  /// Cubed-sphere shell: 6 caps split 2x2, radially one tree deep =
+  /// 24 trees, exactly the paper's spherical-shell decomposition.
+  static Connectivity cubed_sphere_shell();
+
+  std::int32_t num_trees() const {
+    return static_cast<std::int32_t>(faces_.size());
+  }
+  const FaceTransform& face(std::int32_t tree, int f) const {
+    return faces_[static_cast<std::size_t>(tree)][static_cast<std::size_t>(f)];
+  }
+
+  /// Map an octant whose coordinates have left `tree` through face `f`
+  /// into the neighboring tree's frame. Returns false at physical
+  /// boundaries. `o` carries the (out-of-range, signed) doubled center.
+  bool transform_center(std::int32_t tree, int f,
+                        std::array<std::int64_t, 3>& center2) const;
+
+  /// Same-size neighbor of `o` in direction dir (0..25), following face
+  /// gluings as needed (diagonal directions may cross two or three faces).
+  /// Returns false at physical boundaries and at cone points where the
+  /// diagonal neighbor is not well defined (see DESIGN.md).
+  bool neighbor_across(const Octant& o, int dir, Octant& out) const;
+
+  /// Adapter for octree::balance / is_balanced.
+  auto neighbor_fn() const {
+    return [this](const Octant& o, int dir, Octant& out) {
+      return neighbor_across(o, dir, out);
+    };
+  }
+
+  /// Geometric corner positions of each tree (in the construction lattice);
+  /// the default mesh geometry blends these trilinearly.
+  const std::vector<TreeCorners>& tree_corners() const { return corners_; }
+
+  /// Physical position of a point given by tree + integer coordinates in
+  /// [0, 2^kMaxLevel], by trilinear blend of the tree's corner positions.
+  std::array<double, 3> map_point(std::int32_t tree, coord_t x, coord_t y,
+                                  coord_t z) const;
+
+ private:
+  std::vector<std::array<FaceTransform, 6>> faces_;
+  std::vector<TreeCorners> corners_;
+};
+
+}  // namespace alps::forest

@@ -1,0 +1,3 @@
+#include "forest/forest.hpp"
+
+// Forest is header-only today; this TU anchors the library target.

@@ -1,0 +1,55 @@
+#pragma once
+// Forest = connectivity + distributed linear octree whose leaves carry
+// tree ids. Thin facade tying the octree AMR functions to inter-tree
+// neighbor transforms, mirroring the paper's P4EST layer.
+
+#include "forest/connectivity.hpp"
+#include "octree/balance.hpp"
+#include "octree/linear_octree.hpp"
+#include "octree/mark.hpp"
+#include "octree/partition.hpp"
+
+namespace alps::forest {
+
+class Forest {
+ public:
+  Forest(Connectivity conn, octree::LinearOctree tree)
+      : conn_(std::move(conn)), tree_(std::move(tree)) {}
+
+  /// NEWTREE over all trees of the connectivity.
+  static Forest new_uniform(par::Comm& comm, Connectivity conn, int level) {
+    octree::LinearOctree t =
+        octree::LinearOctree::new_uniform(comm, conn.num_trees(), level);
+    return Forest(std::move(conn), std::move(t));
+  }
+
+  const Connectivity& connectivity() const { return conn_; }
+  octree::LinearOctree& tree() { return tree_; }
+  const octree::LinearOctree& tree() const { return tree_; }
+
+  /// Same-size neighbor following inter-tree gluing.
+  bool neighbor(const Octant& o, int dir, Octant& out) const {
+    return conn_.neighbor_across(o, dir, out);
+  }
+
+  int balance(par::Comm& comm,
+              octree::Adjacency adj = octree::Adjacency::kFaceEdge) {
+    return octree::balance(comm, tree_, adj, conn_.neighbor_fn());
+  }
+  bool is_balanced(par::Comm& comm,
+                   octree::Adjacency adj = octree::Adjacency::kFaceEdge) const {
+    return octree::is_balanced(comm, tree_, adj, conn_.neighbor_fn());
+  }
+  void partition(par::Comm& comm,
+                 std::span<octree::LeafPayload*> payloads = {},
+                 std::span<const double> weights = {},
+                 octree::PartitionTimings* timings = nullptr) {
+    octree::partition(comm, tree_, payloads, weights, timings);
+  }
+
+ private:
+  Connectivity conn_;
+  octree::LinearOctree tree_;
+};
+
+}  // namespace alps::forest

@@ -1,0 +1,81 @@
+#include "io/vtk.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace alps::io {
+
+namespace {
+
+// VTK_HEXAHEDRON corner order relative to our z-order (bit0->x, bit1->y,
+// bit2->z): VTK wants the bottom quad counter-clockwise then the top.
+constexpr int kVtkOrder[8] = {0, 1, 3, 2, 4, 5, 7, 6};
+
+}  // namespace
+
+void write_vtk(par::Comm& comm, const forest::Connectivity& conn,
+               const mesh::Mesh& m, const std::string& path,
+               const std::vector<VtkField>& fields) {
+  const std::size_t ne = m.elements.size();
+  for (const VtkField& f : fields)
+    if (f.values.size() != ne * 8)
+      throw std::invalid_argument("write_vtk: field '" + f.name +
+                                  "' must have 8 values per element");
+
+  // Pack local geometry + metadata: per element 24 coords, level, rank.
+  std::vector<double> geo;
+  geo.reserve(ne * 26);
+  for (std::size_t e = 0; e < ne; ++e) {
+    const auto xyz = m.element_corners_xyz(conn, static_cast<std::int64_t>(e));
+    for (int k = 0; k < 8; ++k)
+      for (int d = 0; d < 3; ++d)
+        geo.push_back(xyz[static_cast<std::size_t>(k)][static_cast<std::size_t>(d)]);
+    geo.push_back(static_cast<double>(m.elements[e].level));
+    geo.push_back(static_cast<double>(comm.rank()));
+  }
+  const std::vector<double> all_geo = comm.allgatherv(geo);
+  std::vector<std::vector<double>> all_fields;
+  for (const VtkField& f : fields) all_fields.push_back(comm.allgatherv(f.values));
+
+  if (comm.rank() != 0) return;
+  const std::size_t total = all_geo.size() / 26;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_vtk: cannot open " + path);
+  out << "# vtk DataFile Version 3.0\nALPS octree mesh\nASCII\n";
+  out << "DATASET UNSTRUCTURED_GRID\n";
+  out << "POINTS " << 8 * total << " double\n";
+  for (std::size_t e = 0; e < total; ++e)
+    for (int k = 0; k < 8; ++k) {
+      const int c = kVtkOrder[k];
+      out << all_geo[26 * e + static_cast<std::size_t>(3 * c)] << ' '
+          << all_geo[26 * e + static_cast<std::size_t>(3 * c + 1)] << ' '
+          << all_geo[26 * e + static_cast<std::size_t>(3 * c + 2)] << '\n';
+    }
+  out << "CELLS " << total << ' ' << 9 * total << '\n';
+  for (std::size_t e = 0; e < total; ++e) {
+    out << 8;
+    for (int k = 0; k < 8; ++k) out << ' ' << 8 * e + static_cast<std::size_t>(k);
+    out << '\n';
+  }
+  out << "CELL_TYPES " << total << '\n';
+  for (std::size_t e = 0; e < total; ++e) out << "12\n";  // VTK_HEXAHEDRON
+
+  out << "CELL_DATA " << total << '\n';
+  out << "SCALARS level double 1\nLOOKUP_TABLE default\n";
+  for (std::size_t e = 0; e < total; ++e) out << all_geo[26 * e + 24] << '\n';
+  out << "SCALARS mpirank double 1\nLOOKUP_TABLE default\n";
+  for (std::size_t e = 0; e < total; ++e) out << all_geo[26 * e + 25] << '\n';
+
+  if (!fields.empty()) {
+    out << "POINT_DATA " << 8 * total << '\n';
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      out << "SCALARS " << fields[f].name << " double 1\nLOOKUP_TABLE default\n";
+      for (std::size_t e = 0; e < total; ++e)
+        for (int k = 0; k < 8; ++k)
+          out << all_fields[f][8 * e + static_cast<std::size_t>(kVtkOrder[k])]
+              << '\n';
+    }
+  }
+}
+
+}  // namespace alps::io

@@ -1,0 +1,28 @@
+#pragma once
+// Legacy-VTK output of distributed octree meshes for visualization
+// (workstation-scale: fields are gathered to rank 0, which writes one
+// file). Elements are written as independent hexahedra with per-corner
+// point data, so hanging nodes need no special casing — the duplicated
+// corners carry the constrained (continuous) values.
+
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace alps::io {
+
+struct VtkField {
+  std::string name;
+  // 8 values per local element (element-value form, e.g. from
+  // mesh::to_element_values); size must be 8 * num local elements.
+  std::vector<double> values;
+};
+
+/// Write the mesh and fields to `path` (overwrites). Adds two implicit
+/// cell fields: octree level and owning rank. Collective; rank 0 writes.
+void write_vtk(par::Comm& comm, const forest::Connectivity& conn,
+               const mesh::Mesh& m, const std::string& path,
+               const std::vector<VtkField>& fields);
+
+}  // namespace alps::io

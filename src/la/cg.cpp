@@ -1,0 +1,49 @@
+#include <cmath>
+#include <vector>
+
+#include "la/krylov.hpp"
+
+namespace alps::la {
+
+SolveResult cg(const LinOp& op, std::span<const double> b,
+               std::span<double> x, const LinOp& precond, const DotFn& dot,
+               const KrylovOptions& opt) {
+  const std::size_t n = x.size();
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  op(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  const double norm0 = std::sqrt(std::max(0.0, dot(r, r)));
+  SolveResult res;
+  if (norm0 == 0.0) {
+    res.converged = true;
+    return res;
+  }
+  precond(r, z);
+  std::copy(z.begin(), z.end(), p.begin());
+  double rz = dot(r, z);
+
+  for (int j = 1; j <= opt.max_iterations; ++j) {
+    op(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // loss of positive definiteness
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    res.iterations = j;
+    res.relative_residual = std::sqrt(std::max(0.0, dot(r, r))) / norm0;
+    if (res.relative_residual < opt.rtol) {
+      res.converged = true;
+      break;
+    }
+    precond(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+}  // namespace alps::la

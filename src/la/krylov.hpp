@@ -1,0 +1,51 @@
+#pragma once
+// Krylov solvers used by RHEA (paper Sec. III): preconditioned MINRES for
+// the symmetric indefinite stabilized Stokes system, and preconditioned
+// CG for SPD subsystems. Operators and inner products are abstract so the
+// same code runs on serial matrices and on distributed matrix-free
+// operators (dot products then carry the allreduce).
+
+#include <functional>
+#include <span>
+
+namespace alps::la {
+
+/// y = Op(x); x and y have the same layout (owned + ghost for distributed).
+using LinOp = std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Globally-consistent inner product (sums owned entries + allreduce in
+/// the distributed case).
+using DotFn =
+    std::function<double(std::span<const double>, std::span<const double>)>;
+
+struct SolveResult {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+struct KrylovOptions {
+  int max_iterations = 500;
+  double rtol = 1e-8;
+};
+
+/// Preconditioned MINRES (Paige & Saunders; implementation follows Elman,
+/// Silvester & Wathen). `precond` must be SPD; pass identity for none.
+/// On entry x is the initial guess; on exit the approximate solution.
+SolveResult minres(const LinOp& op, std::span<const double> b,
+                   std::span<double> x, const LinOp& precond,
+                   const DotFn& dot, const KrylovOptions& opt);
+
+/// Preconditioned conjugate gradients for SPD systems.
+SolveResult cg(const LinOp& op, std::span<const double> b,
+               std::span<double> x, const LinOp& precond, const DotFn& dot,
+               const KrylovOptions& opt);
+
+/// Convenience identity preconditioner.
+inline LinOp identity_op() {
+  return [](std::span<const double> x, std::span<double> y) {
+    std::copy(x.begin(), x.end(), y.begin());
+  };
+}
+
+}  // namespace alps::la

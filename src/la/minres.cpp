@@ -1,0 +1,80 @@
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "la/krylov.hpp"
+
+namespace alps::la {
+
+SolveResult minres(const LinOp& op, std::span<const double> b,
+                   std::span<double> x, const LinOp& precond,
+                   const DotFn& dot, const KrylovOptions& opt) {
+  const std::size_t n = x.size();
+  std::vector<double> v(n), v_old(n, 0.0), v_new(n), z(n), z_new(n);
+  std::vector<double> w(n, 0.0), w_old(n, 0.0), w_new(n), az(n);
+
+  // v1 = b - A x0, z1 = M v1.
+  op(x, az);
+  for (std::size_t i = 0; i < n; ++i) v[i] = b[i] - az[i];
+  precond(v, z);
+  double gamma = std::sqrt(std::max(0.0, dot(z, v)));
+  const double norm0 = gamma;
+  SolveResult res;
+  if (norm0 == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  double gamma_old = 1.0, eta = gamma;
+  double s_prev = 0.0, s_cur = 0.0, c_prev = 1.0, c_cur = 1.0;
+
+  for (int j = 1; j <= opt.max_iterations; ++j) {
+    for (std::size_t i = 0; i < n; ++i) z[i] /= gamma;
+    op(z, az);
+    const double delta = dot(az, z);
+    for (std::size_t i = 0; i < n; ++i)
+      v_new[i] = az[i] - (delta / gamma) * v[i] - (gamma / gamma_old) * v_old[i];
+    precond(v_new, z_new);
+    const double gamma_new = std::sqrt(std::max(0.0, dot(z_new, v_new)));
+
+    const double alpha0 = c_cur * delta - c_prev * s_cur * gamma;
+    const double alpha1 = std::sqrt(alpha0 * alpha0 + gamma_new * gamma_new);
+    const double alpha2 = s_cur * delta + c_prev * c_cur * gamma;
+    const double alpha3 = s_prev * gamma;
+    if (alpha1 == 0.0)
+      throw std::runtime_error("minres: breakdown (alpha1 == 0)");
+
+    c_prev = c_cur;
+    s_prev = s_cur;
+    c_cur = alpha0 / alpha1;
+    s_cur = gamma_new / alpha1;
+
+    for (std::size_t i = 0; i < n; ++i)
+      w_new[i] = (z[i] - alpha3 * w_old[i] - alpha2 * w[i]) / alpha1;
+    for (std::size_t i = 0; i < n; ++i) x[i] += c_cur * eta * w_new[i];
+    eta = -s_cur * eta;
+
+    std::swap(v_old, v);
+    std::swap(v, v_new);
+    std::swap(w_old, w);
+    std::swap(w, w_new);
+    std::swap(z, z_new);
+    gamma_old = gamma;
+    gamma = gamma_new;
+
+    res.iterations = j;
+    res.relative_residual = std::abs(eta) / norm0;
+    if (res.relative_residual < opt.rtol) {
+      res.converged = true;
+      break;
+    }
+    if (gamma == 0.0) {  // exact solution reached
+      res.converged = true;
+      res.relative_residual = 0.0;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace alps::la

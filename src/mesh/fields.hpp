@@ -1,0 +1,40 @@
+#pragma once
+// INTERPOLATEFIELDS / TRANSFERFIELDS support (paper Sec. IV.B, Fig. 4).
+//
+// Fields travel between meshes in "element-value" form: 8 corner values
+// per element (per scalar component), in leaf order. This form is local
+// to each element, so interpolation across one adaptation step needs no
+// communication, and repartitioning moves it with octree::partition as a
+// plain per-leaf payload. Conversion to and from the global nodal vector
+// happens on the extracted mesh.
+
+#include <span>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace alps::mesh {
+
+using octree::Correspondence;
+
+/// Nodal dof vector (n_local entries) -> per-element corner values
+/// (8 per element), resolving hanging-node constraints. Ghost dof entries
+/// must be current (call Mesh::exchange first if needed).
+std::vector<double> to_element_values(const Mesh& m,
+                                      std::span<const double> nodal);
+
+/// Per-element corner values -> nodal dof vector on `m` (n_local entries,
+/// ghosts filled). Assumes the element values describe a continuous field
+/// (each independent node receives the same value from every element that
+/// touches it). Collective.
+std::vector<double> from_element_values(par::Comm& comm, const Mesh& m,
+                                        std::span<const double> evals);
+
+/// INTERPOLATEFIELDS: carry element values across one local adaptation
+/// (refine/coarsen/balance; same-rank regions). Trilinear interpolation
+/// into refined elements, corner injection for coarsened ones. Pure local.
+std::vector<double> interpolate_element_values(
+    std::span<const Octant> old_leaves, std::span<const Octant> new_leaves,
+    const Correspondence& corr, std::span<const double> old_vals);
+
+}  // namespace alps::mesh

@@ -1,0 +1,59 @@
+#include "mesh/ghost.hpp"
+
+#include <algorithm>
+
+namespace alps::mesh {
+
+namespace {
+
+struct WireOctant {
+  std::int32_t tree;
+  octree::coord_t x, y, z;
+  std::int32_t level;
+};
+
+}  // namespace
+
+std::vector<Octant> ghost_layer(par::Comm& comm, const LinearOctree& tree,
+                                const Connectivity& conn) {
+  const int p = comm.size();
+  std::vector<std::vector<WireOctant>> outbox(static_cast<std::size_t>(p));
+  Octant n;
+  for (const Octant& o : tree.leaves()) {
+    for (int d = 0; d < octree::kNumAllDirs; ++d) {
+      if (!conn.neighbor_across(o, d, n)) continue;
+      const int lo = tree.owner_of(octree::key_of(n));
+      const int hi =
+          tree.owner_of(octree::SfcKey{n.tree, n.morton_last()});
+      for (int r = lo; r <= hi; ++r) {
+        if (r == comm.rank()) continue;
+        outbox[static_cast<std::size_t>(r)].push_back(
+            WireOctant{o.tree, o.x, o.y, o.z, o.level});
+      }
+    }
+  }
+  for (auto& v : outbox) {
+    std::sort(v.begin(), v.end(), [](const WireOctant& a, const WireOctant& b) {
+      return octree::sfc_less(
+          Octant{a.tree, a.x, a.y, a.z, static_cast<std::int8_t>(a.level)},
+          Octant{b.tree, b.x, b.y, b.z, static_cast<std::int8_t>(b.level)});
+    });
+    v.erase(std::unique(v.begin(), v.end(),
+                        [](const WireOctant& a, const WireOctant& b) {
+                          return a.tree == b.tree && a.x == b.x && a.y == b.y &&
+                                 a.z == b.z && a.level == b.level;
+                        }),
+            v.end());
+  }
+  std::vector<std::vector<WireOctant>> inbox = comm.alltoallv(outbox);
+  std::vector<Octant> ghosts;
+  for (const auto& v : inbox)
+    for (const WireOctant& w : v)
+      ghosts.push_back(
+          Octant{w.tree, w.x, w.y, w.z, static_cast<std::int8_t>(w.level)});
+  std::sort(ghosts.begin(), ghosts.end(), octree::sfc_less);
+  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  return ghosts;
+}
+
+}  // namespace alps::mesh

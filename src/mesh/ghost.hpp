@@ -1,0 +1,22 @@
+#pragma once
+// Ghost layer exchange (part of EXTRACTMESH, paper Sec. IV.B): every rank
+// obtains the one layer of remote leaves adjacent (face/edge/corner) to
+// its own leaves, by sending each boundary leaf to the ranks owning the
+// neighboring regions — one alltoall total.
+
+#include <vector>
+
+#include "forest/connectivity.hpp"
+#include "octree/linear_octree.hpp"
+
+namespace alps::mesh {
+
+using forest::Connectivity;
+using octree::LinearOctree;
+using octree::Octant;
+
+/// Remote leaves adjacent to this rank's leaves, sorted in SFC order.
+std::vector<Octant> ghost_layer(par::Comm& comm, const LinearOctree& tree,
+                                const Connectivity& conn);
+
+}  // namespace alps::mesh

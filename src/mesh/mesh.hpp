@@ -1,0 +1,99 @@
+#pragma once
+// EXTRACTMESH (paper Sec. IV.B): build a distributed trilinear hexahedral
+// finite-element mesh from a balanced forest. Establishes the unique
+// global numbering of independent degrees of freedom, detects hanging
+// nodes on nonconforming faces and edges, expresses them as algebraic
+// constraints on the independent dofs (enforced at the element level, as
+// in the paper), gathers ghost information, and sets up the communication
+// pattern used by the solvers.
+//
+// Requires the tree to be 2:1 balanced across faces and edges
+// (Adjacency::kFaceEdge), which guarantees single-level constraints.
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "forest/forest.hpp"
+#include "mesh/ghost.hpp"
+
+namespace alps::mesh {
+
+using octree::coord_t;
+using octree::Octant;
+
+/// Canonical node identifier: tree + integer corner coordinates in
+/// [0, 2^kMaxLevel]. Nodes on inter-tree boundaries are canonicalized to
+/// their lexicographically smallest representation.
+struct NodeKey {
+  std::int32_t tree = 0;
+  coord_t x = 0, y = 0, z = 0;
+
+  friend auto operator<=>(const NodeKey&, const NodeKey&) = default;
+};
+
+/// One element corner: either a single independent dof (n == 1, w == 1)
+/// or a hanging node constrained by up to 4 independent dofs (the corners
+/// of the coarse neighbor's face or edge it sits on).
+struct Corner {
+  std::int8_t hanging = 0;
+  std::int8_t n = 0;
+  std::array<std::int32_t, 4> dof{};  // local dof indices
+  std::array<double, 4> w{};
+};
+
+class Mesh {
+ public:
+  // ---- elements ---------------------------------------------------------
+  std::vector<Octant> elements;                 // this rank's leaves
+  std::vector<std::array<Corner, 8>> corners;   // per element, z-order
+
+  // ---- degrees of freedom ------------------------------------------------
+  std::int64_t n_owned = 0;    // dofs this rank numbers
+  std::int64_t n_local = 0;    // owned + ghost dofs addressable locally
+  std::int64_t n_global = 0;   // total independent dofs
+  std::int64_t gid_offset = 0; // global id of local dof 0
+  std::vector<NodeKey> dof_keys;                 // size n_local
+  std::vector<std::int64_t> dof_gids;            // size n_local
+  std::vector<std::array<double, 3>> dof_coords; // physical positions
+  std::vector<std::uint8_t> dof_boundary;        // bitmask of physical faces
+
+  // ---- ghost-dof communication pattern -----------------------------------
+  // One slot per rank (empty vectors for non-neighbors).
+  std::vector<std::vector<std::int32_t>> send_idx;  // owned indices to send
+  std::vector<std::vector<std::int32_t>> recv_idx;  // ghost indices to fill
+
+  /// Overwrite the ghost entries of `values` (n_local * ncomp doubles,
+  /// node-major) with the owners' values. Collective.
+  void exchange(par::Comm& comm, std::span<double> values, int ncomp = 1) const;
+
+  /// Add this rank's ghost-slot contributions into the owners' entries and
+  /// zero the ghost slots; after the call owners hold the global sums and
+  /// a subsequent exchange() makes all copies consistent. Collective.
+  void accumulate(par::Comm& comm, std::span<double> values,
+                  int ncomp = 1) const;
+
+  /// Number of local elements.
+  std::int64_t num_elements() const {
+    return static_cast<std::int64_t>(elements.size());
+  }
+
+  /// True if local dof index i is owned by this rank.
+  bool is_owned(std::int32_t i) const { return i < n_owned; }
+
+  /// Physical corner positions of element e (z-order), via the geometry.
+  std::array<std::array<double, 3>, 8> element_corners_xyz(
+      const forest::Connectivity& conn, std::int64_t e) const;
+};
+
+/// Build the mesh from a face+edge balanced forest. Collective.
+Mesh extract_mesh(par::Comm& comm, const forest::Forest& forest);
+
+/// Canonicalize a node across inter-tree boundaries. Returns the minimal
+/// representation and a bitmask of the physical boundary faces it lies on.
+std::pair<NodeKey, std::uint8_t> canonical_node(const forest::Connectivity& conn,
+                                                const NodeKey& node);
+
+}  // namespace alps::mesh

@@ -1,0 +1,41 @@
+#pragma once
+// BALANCETREE (paper Sec. IV.B): enforce the global 2:1 size condition
+// between adjacent leaves by parallel prioritized ripple propagation.
+// Each round, every leaf emits the coarse octants its neighborhood
+// requires, requests are routed to the owning rank (aggregated into one
+// alltoall per round), violating leaves are split along the request path,
+// and rounds repeat until a global fixpoint — so the number of
+// communication rounds scales with the number of refinement levels.
+
+#include <functional>
+
+#include "octree/linear_octree.hpp"
+
+namespace alps::octree {
+
+/// Which adjacency the 2:1 condition is enforced across. The paper uses
+/// face + edge neighbors ("edge lengths of face- and edge-neighboring
+/// elements may differ by at most a factor of two").
+enum class Adjacency : int {
+  kFace = kNumFaceDirs,
+  kFaceEdge = kNumFaceEdgeDirs,
+  kFull = kNumAllDirs,
+};
+
+/// Maps (octant, direction) to its same-size neighbor, returning false if
+/// the neighbor leaves the domain. The forest layer supplies a transform
+/// that crosses tree boundaries; the default stays within one tree.
+using NeighborFn = std::function<bool(const Octant&, int dir, Octant& out)>;
+
+/// Balance the tree in place. Returns the number of ripple rounds.
+int balance(par::Comm& comm, LinearOctree& tree,
+            Adjacency adj = Adjacency::kFaceEdge,
+            const NeighborFn& nbr = {});
+
+/// True if every pair of adjacent local+ghost leaves satisfies 2:1.
+/// (Checks each local leaf's neighborhood through owner queries; collective.)
+bool is_balanced(par::Comm& comm, const LinearOctree& tree,
+                 Adjacency adj = Adjacency::kFaceEdge,
+                 const NeighborFn& nbr = {});
+
+}  // namespace alps::octree

@@ -1,0 +1,239 @@
+#include "octree/linear_octree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace alps::octree {
+
+LinearOctree LinearOctree::new_uniform(par::Comm& comm, std::int32_t num_trees,
+                                       int level) {
+  if (level < 0 || level > kMaxLevel)
+    throw std::invalid_argument("new_uniform: bad level");
+  LinearOctree t;
+  t.num_trees_ = num_trees;
+  const std::int64_t per_tree = std::int64_t{1} << (3 * level);
+  const std::int64_t n_global = per_tree * num_trees;
+  const int p = comm.size(), r = comm.rank();
+  const std::int64_t lo = n_global * r / p;
+  const std::int64_t hi = n_global * (r + 1) / p;
+  t.leaves_.reserve(static_cast<std::size_t>(hi - lo));
+  for (std::int64_t g = lo; g < hi; ++g) {
+    const std::int32_t tree = static_cast<std::int32_t>(g / per_tree);
+    const morton_t m = static_cast<morton_t>(g % per_tree)
+                       << (3 * (kMaxLevel - level));
+    Octant o;
+    o.tree = tree;
+    o.level = static_cast<std::int8_t>(level);
+    morton_decode(m, o.x, o.y, o.z);
+    t.leaves_.push_back(o);
+  }
+  t.update_ranges(comm);
+  return t;
+}
+
+LinearOctree LinearOctree::new_uniform_grow_prune(par::Comm& comm,
+                                                  std::int32_t num_trees,
+                                                  int level) {
+  if (level < 0 || level > kMaxLevel)
+    throw std::invalid_argument("new_uniform_grow_prune: bad level");
+  LinearOctree t;
+  t.num_trees_ = num_trees;
+  // Grow: every rank builds the complete coarse forest by recursive
+  // splitting, in SFC order.
+  std::vector<Octant> all;
+  const auto grow = [&all, level](const auto& self, const Octant& o) -> void {
+    if (o.level == level) {
+      all.push_back(o);
+      return;
+    }
+    for (int c = 0; c < 8; ++c) self(self, o.child(c));
+  };
+  for (std::int32_t tree = 0; tree < num_trees; ++tree)
+    grow(grow, Octant{tree, 0, 0, 0, 0});
+  // Prune: keep only this rank's even share of the Morton order.
+  const std::int64_t n = static_cast<std::int64_t>(all.size());
+  const int p = comm.size(), r = comm.rank();
+  const std::int64_t lo = n * r / p, hi = n * (r + 1) / p;
+  t.leaves_.assign(all.begin() + lo, all.begin() + hi);
+  t.update_ranges(comm);
+  return t;
+}
+
+std::int64_t LinearOctree::num_global(par::Comm& comm) const {
+  return comm.allreduce_sum<std::int64_t>(num_local());
+}
+
+void LinearOctree::update_ranges(par::Comm& comm) {
+  struct RankKey {
+    std::int32_t has = 0;
+    SfcKey key;
+  };
+  RankKey mine;
+  mine.has = leaves_.empty() ? 0 : 1;
+  if (mine.has) mine.key = key_of(leaves_.front());
+  std::vector<RankKey> all = comm.allgather(mine);
+
+  const int p = comm.size();
+  range_begins_.assign(static_cast<std::size_t>(p) + 1,
+                       key_end_sentinel(num_trees_));
+  // Fill backwards so empty ranks inherit the next rank's begin, giving
+  // them an empty [begin, begin) range.
+  for (int r = p - 1; r >= 0; --r) {
+    range_begins_[static_cast<std::size_t>(r)] =
+        all[static_cast<std::size_t>(r)].has
+            ? all[static_cast<std::size_t>(r)].key
+            : range_begins_[static_cast<std::size_t>(r) + 1];
+  }
+}
+
+int LinearOctree::owner_of(const SfcKey& k) const {
+  assert(!range_begins_.empty());
+  // Last rank whose begin <= k.
+  auto it = std::upper_bound(range_begins_.begin(), range_begins_.end() - 1, k);
+  if (it == range_begins_.begin())
+    throw std::runtime_error("owner_of: key precedes all ranges");
+  return static_cast<int>((it - range_begins_.begin()) - 1);
+}
+
+std::int64_t LinearOctree::lower_bound(const SfcKey& k) const {
+  auto it = std::lower_bound(
+      leaves_.begin(), leaves_.end(), k,
+      [](const Octant& o, const SfcKey& key) { return key_of(o) < key; });
+  return it - leaves_.begin();
+}
+
+std::int64_t LinearOctree::find_containing(const Octant& o) const {
+  const SfcKey k = key_of(o);
+  // Last local leaf with anchor <= k.
+  auto it = std::upper_bound(
+      leaves_.begin(), leaves_.end(), k,
+      [](const SfcKey& key, const Octant& l) { return key < key_of(l); });
+  if (it == leaves_.begin()) return -1;
+  --it;
+  if (it->tree == o.tree && (*it == o || it->is_ancestor_of(o)))
+    return it - leaves_.begin();
+  return -1;
+}
+
+void LinearOctree::adapt(std::span<const std::int8_t> flags, int min_level,
+                         int max_level) {
+  if (flags.size() != leaves_.size())
+    throw std::invalid_argument("adapt: one flag per local leaf required");
+  std::vector<Octant> out;
+  out.reserve(leaves_.size());
+  const std::size_t n = leaves_.size();
+  for (std::size_t i = 0; i < n;) {
+    const Octant& o = leaves_[i];
+    // Try to coarsen a complete sibling group [i, i+8).
+    if (flags[i] < 0 && o.level > min_level && o.level > 0 &&
+        o.child_id() == 0 && i + 8 <= n) {
+      const Octant p = o.parent();
+      bool all = true;
+      for (std::size_t j = 0; j < 8; ++j) {
+        if (flags[i + j] >= 0 || leaves_[i + j].level != o.level ||
+            !(leaves_[i + j].level > 0) ||
+            !(leaves_[i + j].parent() == p)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        out.push_back(p);
+        i += 8;
+        continue;
+      }
+    }
+    if (flags[i] > 0 && o.level < max_level) {
+      for (int c = 0; c < 8; ++c) out.push_back(o.child(c));
+    } else {
+      out.push_back(o);
+    }
+    ++i;
+  }
+  leaves_ = std::move(out);
+}
+
+bool LinearOctree::locally_valid() const {
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    const Octant& o = leaves_[i];
+    if (!o.inside_tree() || o.tree < 0 || o.tree >= num_trees_) return false;
+    if (o.level < 0 || o.level > kMaxLevel) return false;
+    if (i > 0) {
+      const Octant& q = leaves_[i - 1];
+      if (!(sfc_less(q, o))) return false;
+      // Non-overlap: previous region must end before this one starts.
+      if (q.tree == o.tree && q.morton_last() >= o.morton()) return false;
+    }
+  }
+  return true;
+}
+
+bool LinearOctree::globally_complete(par::Comm& comm, const LinearOctree& t) {
+  bool ok = t.locally_valid();
+  // Each rank publishes (first key, last key end). Rank 0 checks the
+  // global chain covers [0, sentinel) without gaps.
+  struct Seg {
+    std::int32_t has = 0;
+    SfcKey first, last_end;
+  };
+  Seg s;
+  s.has = t.leaves_.empty() ? 0 : 1;
+  if (s.has) {
+    s.first = key_of(t.leaves_.front());
+    const Octant& b = t.leaves_.back();
+    morton_t end = b.morton_last() + 1;
+    if (end == octant_span(0))  // wrapped past end of tree
+      s.last_end = SfcKey{b.tree + 1, 0};
+    else
+      s.last_end = SfcKey{b.tree, end};
+  }
+  std::vector<Seg> segs = comm.allgather(s);
+  SfcKey expect{0, 0};
+  for (const Seg& g : segs) {
+    if (!g.has) continue;
+    if (g.first != expect) ok = false;
+    expect = g.last_end;
+  }
+  if (expect != key_end_sentinel(t.num_trees_)) ok = false;
+  return comm.allreduce_sum<int>(ok ? 0 : 1) == 0;
+}
+
+Correspondence compute_correspondence(std::span<const Octant> old_leaves,
+                                      std::span<const Octant> new_leaves) {
+  Correspondence c;
+  c.entries.reserve(new_leaves.size());
+  std::size_t i = 0;  // cursor into old
+  for (std::size_t j = 0; j < new_leaves.size(); ++j) {
+    const Octant& nw = new_leaves[j];
+    if (i >= old_leaves.size())
+      throw std::runtime_error("correspondence: old leaves exhausted");
+    const Octant& od = old_leaves[i];
+    Correspondence::Entry e;
+    if (od == nw) {
+      e.kind = Correspondence::Kind::kSame;
+      e.old_begin = static_cast<std::int64_t>(i);
+      e.old_end = e.old_begin + 1;
+      ++i;
+    } else if (od.is_ancestor_of(nw)) {
+      e.kind = Correspondence::Kind::kRefined;
+      e.old_begin = static_cast<std::int64_t>(i);
+      e.old_end = e.old_begin + 1;
+      // Advance past od only when nw is its last covered piece.
+      if (nw.morton_last() == od.morton_last()) ++i;
+    } else if (nw.is_ancestor_of(od)) {
+      e.kind = Correspondence::Kind::kCoarsened;
+      e.old_begin = static_cast<std::int64_t>(i);
+      while (i < old_leaves.size() && nw.is_ancestor_of(old_leaves[i])) ++i;
+      e.old_end = static_cast<std::int64_t>(i);
+    } else {
+      throw std::runtime_error("correspondence: leaves do not tile equally");
+    }
+    c.entries.push_back(e);
+  }
+  if (i != old_leaves.size())
+    throw std::runtime_error("correspondence: new leaves exhausted early");
+  return c;
+}
+
+}  // namespace alps::octree

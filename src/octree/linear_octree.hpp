@@ -1,0 +1,110 @@
+#pragma once
+// Distributed linear octree (paper Sec. IV.A): each rank stores a
+// contiguous Morton-ordered slice of the leaves plus the global ownership
+// ranges (one SFC key per rank, obtained by allgather — the only global
+// state, exactly as in the paper).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "par/comm.hpp"
+
+namespace alps::octree {
+
+/// Global space-filling-curve position: (tree, morton code at kMaxLevel).
+struct SfcKey {
+  std::int32_t tree = 0;
+  morton_t m = 0;
+
+  friend auto operator<=>(const SfcKey&, const SfcKey&) = default;
+};
+
+inline SfcKey key_of(const Octant& o) { return SfcKey{o.tree, o.morton()}; }
+
+/// Largest representable key + 1, used as a range sentinel.
+inline SfcKey key_end_sentinel(std::int32_t num_trees) {
+  return SfcKey{num_trees, 0};
+}
+
+class LinearOctree {
+ public:
+  LinearOctree() = default;
+
+  /// NEWTREE: uniform forest of `num_trees` trees refined to `level`,
+  /// partitioned evenly across ranks in SFC order (direct construction).
+  static LinearOctree new_uniform(par::Comm& comm, std::int32_t num_trees,
+                                  int level);
+
+  /// NEWTREE exactly as the paper describes it: every rank grows the full
+  /// coarse octree locally, the leaves are divided evenly by Morton order,
+  /// and each rank prunes the parts it does not own — "an inexpensive
+  /// operation that requires no communication". Produces the same forest
+  /// as new_uniform (property-tested).
+  static LinearOctree new_uniform_grow_prune(par::Comm& comm,
+                                             std::int32_t num_trees,
+                                             int level);
+
+  std::int32_t num_trees() const { return num_trees_; }
+  const std::vector<Octant>& leaves() const { return leaves_; }
+  std::vector<Octant>& mutable_leaves() { return leaves_; }
+  std::int64_t num_local() const {
+    return static_cast<std::int64_t>(leaves_.size());
+  }
+  std::int64_t num_global(par::Comm& comm) const;
+
+  // ---- ownership ------------------------------------------------------
+  /// Recompute global ownership ranges (allgather of one key per rank).
+  void update_ranges(par::Comm& comm);
+  /// Rank owning the leaf whose region contains `k`. Requires ranges.
+  int owner_of(const SfcKey& k) const;
+  int owner_of(const Octant& o) const { return owner_of(key_of(o)); }
+  const std::vector<SfcKey>& range_begins() const { return range_begins_; }
+
+  // ---- local queries ---------------------------------------------------
+  /// Index of the local leaf equal to or an ancestor of `o`; -1 if the
+  /// region is not locally owned.
+  std::int64_t find_containing(const Octant& o) const;
+  /// Index of the first local leaf with key >= k.
+  std::int64_t lower_bound(const SfcKey& k) const;
+
+  // ---- adaptation (COARSENTREE + REFINETREE, purely local) -------------
+  /// flags[i]: +1 refine leaf i, -1 coarsen candidate, 0 keep. Coarsening
+  /// applies only to complete locally-owned sibling groups all flagged -1
+  /// (the paper's restriction). Levels are clamped to [min_level,
+  /// max_level].
+  void adapt(std::span<const std::int8_t> flags, int min_level, int max_level);
+
+  // ---- invariants -------------------------------------------------------
+  /// Sorted, non-overlapping, inside their trees.
+  bool locally_valid() const;
+  /// The union of all leaves tiles the forest with no gaps or overlaps.
+  static bool globally_complete(par::Comm& comm, const LinearOctree& t);
+
+ private:
+  std::int32_t num_trees_ = 1;
+  std::vector<Octant> leaves_;
+  std::vector<SfcKey> range_begins_;  // size P+1 with sentinel
+};
+
+/// Relation of each new leaf to the old leaves after local adaptation
+/// (refine/coarsen/balance never move octants across ranks, so old and new
+/// local forests tile the same region and correspond by a merge walk).
+struct Correspondence {
+  enum class Kind : std::uint8_t { kSame, kRefined, kCoarsened };
+  struct Entry {
+    Kind kind = Kind::kSame;
+    std::int64_t old_begin = 0;  // kSame/kRefined: the single source leaf
+    std::int64_t old_end = 0;    // kCoarsened: [old_begin, old_end) children
+  };
+  std::vector<Entry> entries;  // one per new leaf
+};
+
+/// Compute the correspondence between two sorted local leaf arrays that
+/// tile the same region (multi-level refinement allowed, e.g. after
+/// balance; coarsening is single-level).
+Correspondence compute_correspondence(std::span<const Octant> old_leaves,
+                                      std::span<const Octant> new_leaves);
+
+}  // namespace alps::octree

@@ -1,0 +1,119 @@
+#include "octree/mark.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace alps::octree {
+
+namespace {
+
+// Local expected element count for given thresholds, replicating the
+// exact semantics of LinearOctree::adapt: only complete locally-owned
+// sibling groups with every member marked for coarsening collapse.
+std::int64_t expected_local(const LinearOctree& tree,
+                            std::span<const double> eta, double theta_r,
+                            double theta_c, const MarkOptions& opt) {
+  const std::vector<Octant>& leaves = tree.leaves();
+  const auto coarsenable = [&](std::size_t i) {
+    return eta[i] <= theta_c && leaves[i].level > opt.min_level &&
+           eta[i] < theta_r;
+  };
+  std::int64_t local = 0;
+  for (std::size_t i = 0; i < leaves.size();) {
+    if (coarsenable(i) && leaves[i].level > 0 && leaves[i].child_id() == 0 &&
+        i + 8 <= leaves.size()) {
+      const Octant p = leaves[i].parent();
+      bool all = true;
+      for (std::size_t j = 0; j < 8; ++j)
+        if (!coarsenable(i + j) || leaves[i + j].level != leaves[i].level ||
+            !(leaves[i + j].parent() == p)) {
+          all = false;
+          break;
+        }
+      if (all) {
+        local += 1;
+        i += 8;
+        continue;
+      }
+    }
+    local += (eta[i] >= theta_r && leaves[i].level < opt.max_level) ? 8 : 1;
+    ++i;
+  }
+  return local;
+}
+
+}  // namespace
+
+std::vector<std::int8_t> mark_elements(par::Comm& comm,
+                                       const LinearOctree& tree,
+                                       std::span<const double> eta,
+                                       const MarkOptions& opt) {
+  if (eta.size() != tree.leaves().size())
+    throw std::invalid_argument("mark_elements: one indicator per leaf");
+  const std::int64_t n_global = comm.allreduce_sum(tree.num_local());
+  const std::int64_t target =
+      opt.target_elements > 0 ? opt.target_elements : n_global;
+
+  double eta_max = 0.0;
+  for (double e : eta) eta_max = std::max(eta_max, e);
+  eta_max = comm.allreduce_max(eta_max);
+  if (eta_max <= 0.0) eta_max = 1.0;
+
+  // Expected count is monotone decreasing in theta_r (fewer refinements,
+  // more coarsenings), so bisect.
+  double lo = 0.0, hi = eta_max * (1.0 + 1e-12);
+  double theta_r = hi, theta_c = opt.coarsen_ratio * hi;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    theta_r = 0.5 * (lo + hi);
+    theta_c = opt.coarsen_ratio * theta_r;
+    const std::int64_t expected = comm.allreduce_sum(
+        expected_local(tree, eta, theta_r, theta_c, opt));
+    const double rel =
+        static_cast<double>(expected - target) / static_cast<double>(target);
+    if (std::abs(rel) <= opt.tolerance) break;
+    if (expected > target)
+      lo = theta_r;  // refine less
+    else
+      hi = theta_r;  // refine more
+  }
+
+  std::vector<std::int8_t> flags(tree.leaves().size(), 0);
+  const std::vector<Octant>& leaves = tree.leaves();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    if (eta[i] >= theta_r && leaves[i].level < opt.max_level)
+      flags[i] = 1;
+    else if (eta[i] <= theta_c && leaves[i].level > opt.min_level)
+      flags[i] = -1;
+  }
+  return flags;
+}
+
+std::int64_t expected_count(par::Comm& comm, const LinearOctree& tree,
+                            std::span<const std::int8_t> flags) {
+  const std::vector<Octant>& leaves = tree.leaves();
+  std::int64_t local = 0;
+  for (std::size_t i = 0; i < leaves.size();) {
+    if (flags[i] < 0 && leaves[i].level > 0 && leaves[i].child_id() == 0 &&
+        i + 8 <= leaves.size()) {
+      const Octant p = leaves[i].parent();
+      bool all = true;
+      for (std::size_t j = 0; j < 8; ++j)
+        if (flags[i + j] >= 0 || leaves[i + j].level != leaves[i].level ||
+            !(leaves[i + j].parent() == p)) {
+          all = false;
+          break;
+        }
+      if (all) {
+        local += 1;
+        i += 8;
+        continue;
+      }
+    }
+    local += flags[i] > 0 ? 8 : 1;
+    ++i;
+  }
+  return comm.allreduce_sum(local);
+}
+
+}  // namespace alps::octree

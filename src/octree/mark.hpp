@@ -1,0 +1,36 @@
+#pragma once
+// MARKELEMENTS (paper Sec. IV.B): turn per-element error indicators into
+// refine/coarsen flags while steering the expected post-adaptation element
+// count toward a target, adjusting global thresholds through collective
+// communication instead of a global sort.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "octree/linear_octree.hpp"
+
+namespace alps::octree {
+
+struct MarkOptions {
+  std::int64_t target_elements = 0;  // desired global count after adaptation
+  double tolerance = 0.05;           // acceptable relative deviation
+  int max_iterations = 40;           // threshold-adjustment rounds
+  int min_level = 0;                 // never coarsen below
+  int max_level = kMaxLevel;         // never refine above
+  double coarsen_ratio = 0.1;        // initial theta_c = ratio * theta_r
+};
+
+/// Returns one flag per local leaf: +1 refine, -1 coarsen, 0 keep.
+/// `eta` is the per-leaf error indicator (non-negative).
+std::vector<std::int8_t> mark_elements(par::Comm& comm,
+                                       const LinearOctree& tree,
+                                       std::span<const double> eta,
+                                       const MarkOptions& opt);
+
+/// Expected global element count if `flags` were applied (ignores the few
+/// elements BalanceTree may add, as the paper does).
+std::int64_t expected_count(par::Comm& comm, const LinearOctree& tree,
+                            std::span<const std::int8_t> flags);
+
+}  // namespace alps::octree

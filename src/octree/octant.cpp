@@ -1,0 +1,144 @@
+#include "octree/octant.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace alps::octree {
+
+namespace {
+
+// Spread the low 8 bits of v so each bit lands every third position.
+constexpr std::uint64_t spread3_byte(std::uint64_t v) {
+  v &= 0xffu;
+  v = (v | (v << 8)) & 0x0000f00full;   // 0000 0000 0000 0000 1111 0000 0000 1111
+  v = (v | (v << 4)) & 0x000c30c3ull;   // ... groups of 2
+  v = (v | (v << 2)) & 0x00249249ull;   // every 3rd bit
+  return v;
+}
+
+struct Spread3Table {
+  std::array<std::uint64_t, 256> t{};
+  constexpr Spread3Table() {
+    for (std::uint64_t i = 0; i < 256; ++i) t[i] = spread3_byte(i);
+  }
+};
+constexpr Spread3Table kSpread3;
+
+inline std::uint64_t spread3(coord_t v) {
+  // kMaxLevel = 19 bits -> three byte lookups cover 24 bits.
+  return kSpread3.t[v & 0xff] | (kSpread3.t[(v >> 8) & 0xff] << 24) |
+         (kSpread3.t[(v >> 16) & 0xff] << 48);
+}
+
+inline coord_t compact3(morton_t m) {
+  coord_t out = 0;
+  for (int i = 0; i < kMaxLevel; ++i)
+    out |= static_cast<coord_t>((m >> (3 * i)) & 1u) << i;
+  return out;
+}
+
+}  // namespace
+
+morton_t morton_encode(coord_t x, coord_t y, coord_t z) {
+  return spread3(x) | (spread3(y) << 1) | (spread3(z) << 2);
+}
+
+void morton_decode(morton_t m, coord_t& x, coord_t& y, coord_t& z) {
+  x = compact3(m);
+  y = compact3(m >> 1);
+  z = compact3(m >> 2);
+}
+
+Octant Octant::parent() const {
+  assert(level > 0);
+  Octant p = *this;
+  p.level = static_cast<std::int8_t>(level - 1);
+  const coord_t mask = ~(octant_len(p.level) - 1);
+  p.x &= mask;
+  p.y &= mask;
+  p.z &= mask;
+  return p;
+}
+
+Octant Octant::child(int i) const {
+  assert(level < kMaxLevel);
+  assert(i >= 0 && i < 8);
+  Octant c = *this;
+  c.level = static_cast<std::int8_t>(level + 1);
+  const coord_t h = octant_len(c.level);
+  if (i & 1) c.x += h;
+  if (i & 2) c.y += h;
+  if (i & 4) c.z += h;
+  return c;
+}
+
+int Octant::child_id() const {
+  assert(level > 0);
+  const coord_t h = octant_len(level);
+  return ((x & h) ? 1 : 0) | ((y & h) ? 2 : 0) | ((z & h) ? 4 : 0);
+}
+
+Octant Octant::ancestor(int anc_level) const {
+  assert(anc_level >= 0 && anc_level <= level);
+  Octant a = *this;
+  a.level = static_cast<std::int8_t>(anc_level);
+  const coord_t mask = ~(octant_len(anc_level) - 1);
+  a.x &= mask;
+  a.y &= mask;
+  a.z &= mask;
+  return a;
+}
+
+bool Octant::is_ancestor_of(const Octant& o) const {
+  if (tree != o.tree || level >= o.level) return false;
+  const Octant a = o.ancestor(level);
+  return a.x == x && a.y == y && a.z == z;
+}
+
+bool Octant::inside_tree() const {
+  const coord_t n = coord_t{1} << kMaxLevel;
+  return x < n && y < n && z < n;
+}
+
+std::string Octant::to_string() const {
+  std::ostringstream os;
+  os << "oct(t=" << tree << " l=" << static_cast<int>(level) << " " << x << ","
+     << y << "," << z << ")";
+  return os.str();
+}
+
+const std::array<std::array<int, 3>, kNumAllDirs> kNeighborDirs = {{
+    // 6 faces
+    {{-1, 0, 0}}, {{1, 0, 0}}, {{0, -1, 0}}, {{0, 1, 0}}, {{0, 0, -1}}, {{0, 0, 1}},
+    // 12 edges
+    {{-1, -1, 0}}, {{1, -1, 0}}, {{-1, 1, 0}}, {{1, 1, 0}},
+    {{-1, 0, -1}}, {{1, 0, -1}}, {{-1, 0, 1}}, {{1, 0, 1}},
+    {{0, -1, -1}}, {{0, 1, -1}}, {{0, -1, 1}}, {{0, 1, 1}},
+    // 8 corners
+    {{-1, -1, -1}}, {{1, -1, -1}}, {{-1, 1, -1}}, {{1, 1, -1}},
+    {{-1, -1, 1}}, {{1, -1, 1}}, {{-1, 1, 1}}, {{1, 1, 1}},
+}};
+
+Octant neighbor(const Octant& o, int dir) {
+  assert(dir >= 0 && dir < kNumAllDirs);
+  const coord_t h = octant_len(o.level);
+  Octant n = o;
+  n.x += static_cast<coord_t>(kNeighborDirs[dir][0]) * h;
+  n.y += static_cast<coord_t>(kNeighborDirs[dir][1]) * h;
+  n.z += static_cast<coord_t>(kNeighborDirs[dir][2]) * h;
+  return n;
+}
+
+bool neighbor_inside(const Octant& o, int dir, Octant& out) {
+  const std::int64_t h = octant_len(o.level);
+  const std::int64_t n = std::int64_t{1} << kMaxLevel;
+  const std::int64_t nx = static_cast<std::int64_t>(o.x) + kNeighborDirs[dir][0] * h;
+  const std::int64_t ny = static_cast<std::int64_t>(o.y) + kNeighborDirs[dir][1] * h;
+  const std::int64_t nz = static_cast<std::int64_t>(o.z) + kNeighborDirs[dir][2] * h;
+  if (nx < 0 || ny < 0 || nz < 0 || nx >= n || ny >= n || nz >= n) return false;
+  out = Octant{o.tree, static_cast<coord_t>(nx), static_cast<coord_t>(ny),
+               static_cast<coord_t>(nz), o.level};
+  return true;
+}
+
+}  // namespace alps::octree

@@ -1,0 +1,58 @@
+#include "par/comm.hpp"
+
+namespace alps::par {
+
+World::World(int size)
+    : size_(size),
+      mailboxes_(static_cast<std::size_t>(size)),
+      barrier_(size),
+      stage_(static_cast<std::size_t>(size), nullptr),
+      stage_sizes_(static_cast<std::size_t>(size), 0) {
+  if (size < 1) throw std::invalid_argument("par::World: size must be >= 1");
+}
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
+  if (dest < 0 || dest >= size())
+    throw std::out_of_range("par::Comm::send: bad destination rank");
+  world_->stats_.p2p_messages++;
+  world_->stats_.p2p_bytes += data.size();
+  detail::Mailbox& box = world_->mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mtx);
+    box.queue.push_back(detail::Envelope{
+        rank_, tag, std::vector<std::byte>(data.begin(), data.end())});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  detail::Mailbox& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mtx);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        std::vector<std::byte> data = std::move(it->data);
+        box.queue.erase(it);
+        return data;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Comm::barrier() {
+  world_->stats_.barrier_calls++;
+  world_->barrier_.arrive_and_wait();
+}
+
+void Comm::publish(const void* p, std::size_t bytes) {
+  world_->stage_[static_cast<std::size_t>(rank_)] = p;
+  world_->stage_sizes_[static_cast<std::size_t>(rank_)] = bytes;
+  world_->barrier_.arrive_and_wait();  // all contributions visible
+}
+
+void Comm::release() {
+  world_->barrier_.arrive_and_wait();  // all readers done; slots reusable
+}
+
+}  // namespace alps::par

@@ -1,0 +1,253 @@
+#pragma once
+// In-process message-passing runtime: the MPI substitute used by every
+// distributed algorithm in this repository (see DESIGN.md, Substitutions).
+//
+// P "ranks" execute concurrently as std::threads and communicate only
+// through this interface: matched point-to-point messages plus the
+// collectives the paper's algorithms need (allgather for partition
+// ranges, allreduce for MarkElements thresholds and balance fixpoints,
+// alltoallv for partition/field transfer, exscan for global numbering).
+//
+// Collectives are staged through shared memory guarded by a barrier; the
+// traffic they *would* generate on a network is recorded in CommStats so
+// the performance model (src/perf) can synthesize large-P timings from
+// counted, not invented, communication.
+
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace alps::par {
+
+/// Live communication counters (shared, thread-safe).
+struct AtomicCommStats {
+  std::atomic<std::uint64_t> p2p_messages{0};
+  std::atomic<std::uint64_t> p2p_bytes{0};
+  std::atomic<std::uint64_t> allreduce_calls{0};
+  std::atomic<std::uint64_t> allgather_calls{0};
+  std::atomic<std::uint64_t> alltoall_calls{0};
+  std::atomic<std::uint64_t> barrier_calls{0};
+
+  void reset() {
+    p2p_messages = 0;
+    p2p_bytes = 0;
+    allreduce_calls = 0;
+    allgather_calls = 0;
+    alltoall_calls = 0;
+    barrier_calls = 0;
+  }
+};
+
+/// Copyable snapshot of the counters, returned from par::run.
+struct CommStats {
+  std::uint64_t p2p_messages = 0;
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t allreduce_calls = 0;
+  std::uint64_t allgather_calls = 0;
+  std::uint64_t alltoall_calls = 0;
+  std::uint64_t barrier_calls = 0;
+};
+
+inline CommStats snapshot(const AtomicCommStats& s) {
+  return CommStats{s.p2p_messages.load(),    s.p2p_bytes.load(),
+                   s.allreduce_calls.load(), s.allgather_calls.load(),
+                   s.alltoall_calls.load(),  s.barrier_calls.load()};
+}
+
+namespace detail {
+
+struct Envelope {
+  int src = -1;
+  int tag = 0;
+  std::vector<std::byte> data;
+};
+
+struct Mailbox {
+  std::mutex mtx;
+  std::condition_variable cv;
+  std::deque<Envelope> queue;
+};
+
+}  // namespace detail
+
+/// Shared state owned by the Runtime; one instance per "world".
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+  AtomicCommStats& stats() { return stats_; }
+
+ private:
+  friend class Comm;
+
+  int size_;
+  std::vector<detail::Mailbox> mailboxes_;
+  std::barrier<> barrier_;
+  // Staging area for shared-memory collectives. Each rank deposits a
+  // pointer to its contribution; two barrier phases separate publish
+  // and read so slots can be reused immediately afterwards.
+  std::vector<const void*> stage_;
+  std::vector<std::size_t> stage_sizes_;
+  AtomicCommStats stats_;
+};
+
+/// Per-rank handle; the only way ranks interact. Mirrors the slice of MPI
+/// the paper's algorithms rely on.
+class Comm {
+ public:
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size_; }
+
+  // ---- point-to-point -------------------------------------------------
+  void send_bytes(int dest, int tag, std::span<const std::byte> data);
+  std::vector<std::byte> recv_bytes(int src, int tag);
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, std::as_bytes(data));
+  }
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    send(dest, tag, std::span<const T>(data));
+  }
+  template <typename T>
+  std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw = recv_bytes(src, tag);
+    if (raw.size() % sizeof(T) != 0)
+      throw std::runtime_error("par::Comm::recv: size mismatch");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  // ---- collectives ----------------------------------------------------
+  void barrier();
+
+  /// Gather one element from every rank, in rank order, on every rank.
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    world_->stats_.allgather_calls++;
+    publish(&value, sizeof(T));
+    std::vector<T> out(size());
+    for (int r = 0; r < size(); ++r)
+      std::memcpy(&out[r], world_->stage_[r], sizeof(T));
+    release();
+    return out;
+  }
+
+  /// Gather variable-length contributions, concatenated in rank order.
+  template <typename T>
+  std::vector<T> allgatherv(std::span<const T> local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    world_->stats_.allgather_calls++;
+    publish(local.data(), local.size() * sizeof(T));
+    std::vector<T> out;
+    for (int r = 0; r < size(); ++r) {
+      std::size_t n = world_->stage_sizes_[r] / sizeof(T);
+      std::size_t off = out.size();
+      out.resize(off + n);
+      if (n > 0) std::memcpy(out.data() + off, world_->stage_[r], n * sizeof(T));
+    }
+    release();
+    return out;
+  }
+  template <typename T>
+  std::vector<T> allgatherv(const std::vector<T>& local) {
+    return allgatherv(std::span<const T>(local));
+  }
+
+  /// Reduce a single value with a binary op; result on every rank.
+  template <typename T, typename Op>
+  T allreduce(const T& value, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    world_->stats_.allreduce_calls++;
+    publish(&value, sizeof(T));
+    T acc;
+    std::memcpy(&acc, world_->stage_[0], sizeof(T));
+    for (int r = 1; r < size(); ++r) {
+      T v;
+      std::memcpy(&v, world_->stage_[r], sizeof(T));
+      acc = op(acc, v);
+    }
+    release();
+    return acc;
+  }
+
+  template <typename T>
+  T allreduce_sum(const T& v) {
+    return allreduce(v, [](T a, T b) { return a + b; });
+  }
+  template <typename T>
+  T allreduce_max(const T& v) {
+    return allreduce(v, [](T a, T b) { return a > b ? a : b; });
+  }
+  template <typename T>
+  T allreduce_min(const T& v) {
+    return allreduce(v, [](T a, T b) { return a < b ? a : b; });
+  }
+  bool allreduce_or(bool v) {
+    int r = allreduce_sum<int>(v ? 1 : 0);
+    return r != 0;
+  }
+
+  /// Exclusive prefix sum: rank r receives sum of values of ranks < r.
+  template <typename T>
+  T exscan_sum(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    world_->stats_.allreduce_calls++;
+    publish(&value, sizeof(T));
+    T acc{};
+    for (int r = 0; r < rank_; ++r) {
+      T v;
+      std::memcpy(&v, world_->stage_[r], sizeof(T));
+      acc = acc + v;
+    }
+    release();
+    return acc;
+  }
+
+  /// Personalized all-to-all: sendbufs[d] goes to rank d; returns one
+  /// buffer per source rank.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& sendbufs) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (static_cast<int>(sendbufs.size()) != size())
+      throw std::runtime_error("par::Comm::alltoallv: need one buffer per rank");
+    world_->stats_.alltoall_calls++;
+    for (int d = 0; d < size(); ++d)
+      if (d != rank_) send(d, kAlltoallTag, sendbufs[d]);
+    std::vector<std::vector<T>> out(size());
+    out[rank_] = sendbufs[rank_];
+    for (int s = 0; s < size(); ++s)
+      if (s != rank_) out[s] = recv<T>(s, kAlltoallTag);
+    barrier();  // keep successive alltoallv rounds from interleaving
+    return out;
+  }
+
+  AtomicCommStats& stats() { return world_->stats_; }
+
+ private:
+  static constexpr int kAlltoallTag = 0x7f00;
+
+  void publish(const void* p, std::size_t bytes);
+  void release();
+
+  World* world_;
+  int rank_;
+};
+
+}  // namespace alps::par

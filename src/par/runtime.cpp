@@ -1,0 +1,34 @@
+#include "par/runtime.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace alps::par {
+
+CommStats run(int nranks, const std::function<void(Comm&)>& body) {
+  World world(nranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &body, &errors, r] {
+      Comm comm(world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        // Store and exit the rank. If the failure is deterministic every
+        // rank reaches it and the first exception is rethrown below; a
+        // single-rank failure while peers wait on it would deadlock, so
+        // rank bodies are written to fail uniformly.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  return snapshot(world.stats());
+}
+
+}  // namespace alps::par

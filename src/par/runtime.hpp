@@ -1,0 +1,15 @@
+#pragma once
+// Thread harness that runs an SPMD function on P simulated ranks.
+
+#include <functional>
+
+#include "par/comm.hpp"
+
+namespace alps::par {
+
+/// Run `body` on `nranks` ranks, each on its own thread, sharing one World.
+/// Exceptions thrown by any rank are rethrown on the caller's thread after
+/// all ranks have been joined. Returns the accumulated CommStats.
+CommStats run(int nranks, const std::function<void(Comm&)>& body);
+
+}  // namespace alps::par

@@ -1,0 +1,62 @@
+#include "perf/model.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace alps::perf {
+
+MachineModel MachineModel::ranger() {
+  MachineModel m;
+  m.name = "TACC Ranger (2008): 2.3 GHz AMD Barcelona, SDR InfiniBand";
+  m.alpha = 2.3e-6;
+  m.beta = 1.0 / 950.0e6;
+  m.core_flops = 2.1e9;
+  // This repository's host is assumed roughly 2x one Ranger core for
+  // FEM-type kernels; benches print the assumption with every table.
+  m.host_core_ratio = 2.0;
+  return m;
+}
+
+double contention_factor(const MachineModel& m, std::int64_t p,
+                         std::int64_t base_cores) {
+  if (p <= base_cores) return 1.0;
+  const double fill =
+      std::min(1.0, std::log2(static_cast<double>(p) / base_cores) /
+                        std::log2(static_cast<double>(m.cores_per_node)));
+  return 1.0 + (m.node_contention - 1.0) * fill;
+}
+
+double collective_time(const MachineModel& m, std::int64_t p,
+                       std::int64_t bytes) {
+  if (p <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(p)));
+  return rounds * (m.alpha + m.sync + static_cast<double>(bytes) * m.beta);
+}
+
+double neighbor_time(const MachineModel& m, std::int64_t nmsg, double bytes) {
+  return static_cast<double>(nmsg) * (m.alpha + m.sync) + bytes * m.beta;
+}
+
+double ghost_bytes_per_rank(std::int64_t elements_per_rank,
+                            double bytes_per_face) {
+  const double n23 =
+      std::pow(static_cast<double>(elements_per_rank), 2.0 / 3.0);
+  return 6.0 * n23 * bytes_per_face;
+}
+
+double phase_time(const MachineModel& m, const PhaseCost& c, std::int64_t p) {
+  double t = c.work_seconds / static_cast<double>(p);
+  t += static_cast<double>(c.collectives) *
+       collective_time(m, p, c.collective_bytes);
+  if (p > 1) t += neighbor_time(m, c.p2p_msgs_per_rank, c.p2p_bytes_per_rank);
+  return t;
+}
+
+double measure_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace alps::perf

@@ -1,0 +1,132 @@
+#include "rhea/indicator.hpp"
+
+#include <cmath>
+
+#include "energy/energy.hpp"
+#include "fem/operators.hpp"
+#include "stokes/picard.hpp"
+
+namespace alps::rhea {
+
+namespace {
+
+/// Element L2 norm of the gradient of a nodal field, and element size.
+void element_gradient_norms(const mesh::Mesh& m,
+                            const forest::Connectivity& conn,
+                            std::span<const double> field,
+                            std::vector<double>& norms,
+                            std::vector<double>& sizes) {
+  norms.assign(m.elements.size(), 0.0);
+  sizes.assign(m.elements.size(), 0.0);
+  std::array<double, 8> fe;
+  for (std::size_t e = 0; e < m.elements.size(); ++e) {
+    const fem::MappedQuad mq =
+        fem::map_element(fem::element_geometry(m, conn, e));
+    for (int i = 0; i < 8; ++i) {
+      const mesh::Corner& cc = m.corners[e][static_cast<std::size_t>(i)];
+      fe[static_cast<std::size_t>(i)] = 0.0;
+      for (int k = 0; k < cc.n; ++k)
+        fe[static_cast<std::size_t>(i)] +=
+            cc.w[static_cast<std::size_t>(k)] *
+            field[static_cast<std::size_t>(cc.dof[static_cast<std::size_t>(k)])];
+    }
+    double g2 = 0.0, vol = 0.0;
+    for (int q = 0; q < fem::kQuad; ++q) {
+      double grad[3] = {};
+      for (int i = 0; i < 8; ++i)
+        for (int d = 0; d < 3; ++d)
+          grad[d] += fe[static_cast<std::size_t>(i)] *
+                     mq.dn[static_cast<std::size_t>(q)][static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(d)];
+      const double w = mq.jxw[static_cast<std::size_t>(q)];
+      g2 += w * (grad[0] * grad[0] + grad[1] * grad[1] + grad[2] * grad[2]);
+      vol += w;
+    }
+    norms[e] = std::sqrt(g2);
+    sizes[e] = std::cbrt(vol);
+  }
+}
+
+}  // namespace
+
+std::vector<double> gradient_indicator(const mesh::Mesh& m,
+                                       const forest::Connectivity& conn,
+                                       std::span<const double> temperature) {
+  std::vector<double> eta(m.elements.size(), 0.0);
+  std::array<double, 8> te;
+  for (std::size_t e = 0; e < m.elements.size(); ++e) {
+    const fem::MappedQuad mq =
+        fem::map_element(fem::element_geometry(m, conn, e));
+    for (int i = 0; i < 8; ++i) {
+      const mesh::Corner& cc = m.corners[e][static_cast<std::size_t>(i)];
+      te[static_cast<std::size_t>(i)] = 0.0;
+      for (int k = 0; k < cc.n; ++k)
+        te[static_cast<std::size_t>(i)] +=
+            cc.w[static_cast<std::size_t>(k)] *
+            temperature[static_cast<std::size_t>(cc.dof[static_cast<std::size_t>(k)])];
+    }
+    double g2 = 0.0, vol = 0.0;
+    for (int q = 0; q < fem::kQuad; ++q) {
+      double grad[3] = {};
+      for (int i = 0; i < 8; ++i)
+        for (int d = 0; d < 3; ++d)
+          grad[d] += te[static_cast<std::size_t>(i)] *
+                     mq.dn[static_cast<std::size_t>(q)][static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(d)];
+      const double w = mq.jxw[static_cast<std::size_t>(q)];
+      g2 += w * (grad[0] * grad[0] + grad[1] * grad[1] + grad[2] * grad[2]);
+      vol += w;
+    }
+    const double h = std::cbrt(vol);
+    eta[e] = std::pow(h, 1.5) * std::sqrt(g2);
+  }
+  return eta;
+}
+
+std::vector<double> yielding_indicator(const mesh::Mesh& m,
+                                       const forest::Connectivity& conn,
+                                       std::span<const double> temperature,
+                                       std::span<const double> velocity,
+                                       double strain_weight) {
+  std::vector<double> eta = gradient_indicator(m, conn, temperature);
+  const std::vector<double> edot =
+      stokes::strain_rate_invariant(m, conn, velocity);
+  for (std::size_t e = 0; e < m.elements.size(); ++e) {
+    const double vol = fem::element_volume(fem::element_geometry(m, conn, e));
+    const double h = std::cbrt(vol);
+    double emax = 0.0;
+    for (int q = 0; q < fem::kQuad; ++q)
+      emax = std::max(emax, edot[8 * e + static_cast<std::size_t>(q)]);
+    eta[e] += strain_weight * std::pow(h, 1.5) * emax;
+  }
+  return eta;
+}
+
+std::vector<double> adjoint_indicator(
+    par::Comm& comm, const mesh::Mesh& m, const forest::Connectivity& conn,
+    std::span<const double> temperature, std::span<const double> velocity,
+    const std::function<double(const std::array<double, 3>&)>& goal_region,
+    double kappa, int pseudo_steps) {
+  // Reverse the velocity for the adjoint transport operator.
+  std::vector<double> rev(velocity.begin(), velocity.end());
+  for (std::int64_t d = 0; d < m.n_local; ++d)
+    for (int c = 0; c < 3; ++c)
+      rev[static_cast<std::size_t>(d * 4 + c)] =
+          -velocity[static_cast<std::size_t>(d * 4 + c)];
+  energy::EnergyOptions opt;
+  opt.kappa = kappa;
+  opt.dirichlet_faces = 0b111111;
+  energy::EnergySolver adjoint(comm, m, conn, rev, opt);
+  std::vector<double> lambda = fem::interpolate(m, goal_region);
+  const double dt = adjoint.stable_dt(comm);
+  for (int s = 0; s < pseudo_steps; ++s) adjoint.step(comm, lambda, dt);
+
+  std::vector<double> gt, gl, h, hl;
+  element_gradient_norms(m, conn, temperature, gt, h);
+  element_gradient_norms(m, conn, lambda, gl, hl);
+  std::vector<double> eta(m.elements.size());
+  for (std::size_t e = 0; e < eta.size(); ++e) eta[e] = h[e] * gt[e] * gl[e];
+  return eta;
+}
+
+}  // namespace alps::rhea

@@ -1,0 +1,41 @@
+#pragma once
+// Refinement criteria: per-element error indicators driving MARKELEMENTS.
+
+#include <span>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace alps::rhea {
+
+/// Scaled temperature-gradient indicator: eta_e = h_e^(3/2) ||grad T||_e.
+/// The h weighting makes the indicator an (approximate) local
+/// interpolation-error bound, so equilibrating it equidistributes error.
+std::vector<double> gradient_indicator(const mesh::Mesh& m,
+                                       const forest::Connectivity& conn,
+                                       std::span<const double> temperature);
+
+/// Combined indicator adding a strain-rate term that tracks yielding
+/// zones: eta_e += weight * h_e^(3/2) * max_q edot_q (velocity in the
+/// 4-comp layout). Used by the Sec. VI yielding simulation.
+std::vector<double> yielding_indicator(const mesh::Mesh& m,
+                                       const forest::Connectivity& conn,
+                                       std::span<const double> temperature,
+                                       std::span<const double> velocity,
+                                       double strain_weight);
+
+/// Adjoint-weighted (goal-oriented) indicator — the paper's "adjoint-based
+/// error estimators and refinement criteria": the adjoint of the
+/// advection-diffusion equation (reversed velocity) is marched a few
+/// explicit pseudo-steps from a terminal condition equal to the goal
+/// region's characteristic function, and the local error proxy is
+///   eta_e = h_e ||grad T||_e ||grad lambda||_e,
+/// which concentrates refinement where errors can still reach the goal
+/// functional J(T) = int_goal T. Collective.
+std::vector<double> adjoint_indicator(
+    par::Comm& comm, const mesh::Mesh& m, const forest::Connectivity& conn,
+    std::span<const double> temperature, std::span<const double> velocity,
+    const std::function<double(const std::array<double, 3>&)>& goal_region,
+    double kappa, int pseudo_steps);
+
+}  // namespace alps::rhea

@@ -1,0 +1,128 @@
+#pragma once
+// RHEA end-to-end simulation driver: couples the SUPG energy equation,
+// the nonlinear Stokes solve, and the full AMR cycle of Fig. 4 (mark ->
+// coarsen/refine -> balance -> interpolate -> partition -> transfer ->
+// extract). Every phase is timed under the paper's function names so the
+// benches can print the Fig. 7 / Fig. 8 / Fig. 10 breakdowns, and every
+// adaptation step records the Fig. 5 statistics.
+
+#include <functional>
+
+#include "energy/energy.hpp"
+#include "rhea/indicator.hpp"
+#include "rhea/viscosity.hpp"
+#include "stokes/picard.hpp"
+
+namespace alps::rhea {
+
+using forest::Connectivity;
+using forest::Forest;
+using mesh::Mesh;
+
+/// Cumulative wall-clock seconds per phase (paper terminology).
+struct PhaseTimers {
+  double new_tree = 0, coarsen_refine = 0, balance = 0, partition = 0,
+         extract_mesh = 0, interpolate_fields = 0, transfer_fields = 0,
+         mark_elements = 0, time_integration = 0, minres = 0, amg_setup = 0,
+         amg_apply = 0, stokes_assemble = 0;
+
+  double amr_total() const {
+    return coarsen_refine + balance + partition + extract_mesh +
+           interpolate_fields + transfer_fields + mark_elements;
+  }
+  double total() const {
+    return new_tree + amr_total() + time_integration + minres + amg_setup +
+           amg_apply + stokes_assemble;
+  }
+};
+
+/// Per-adaptation-step statistics (Fig. 5).
+struct AdaptationStats {
+  std::int64_t refined = 0;         // old elements split
+  std::int64_t coarsened = 0;       // old elements absorbed into parents
+  std::int64_t unchanged = 0;       // old elements kept
+  std::int64_t balance_added = 0;   // extra elements from BalanceTree
+  std::int64_t total_elements = 0;  // after the full cycle
+  std::array<std::int64_t, 20> per_level{};
+};
+
+struct SimConfig {
+  Connectivity conn = Connectivity::unit_cube();
+  int init_level = 3;
+  int min_level = 2;
+  int max_level = 7;
+  int initial_adapt_rounds = 2;
+  std::int64_t target_elements = 0;  // 0 = hold the current count
+  double mark_tolerance = 0.08;
+  double coarsen_ratio = 0.05;
+  int adapt_every = 16;
+
+  /// When set, velocity is prescribed analytically (transport-only runs,
+  /// paper Sec. V); otherwise the nonlinear Stokes system is solved.
+  std::function<std::array<double, 3>(const std::array<double, 3>&, double)>
+      prescribed_velocity;
+  /// Set when prescribed_velocity actually depends on time; a static field
+  /// is sampled once per mesh rebuild instead of every step.
+  bool time_dependent_velocity = false;
+
+  energy::EnergyOptions energy{};
+  stokes::PicardOptions picard{};
+  stokes::ViscosityLaw law;  // required in convection mode
+
+  /// When set, MARKELEMENTS is driven by the goal-oriented adjoint
+  /// indicator instead of the plain gradient indicator: refinement
+  /// concentrates where errors can still influence J(T) = int_goal T.
+  std::function<double(const std::array<double, 3>&)> goal_region;
+  int adjoint_pseudo_steps = 10;
+  double strain_weight = 0.0;  // yielding-zone term in the indicator
+  int stokes_every = 1;        // velocity update cadence (convection mode)
+};
+
+class Simulation {
+ public:
+  Simulation(par::Comm& comm, SimConfig cfg);
+
+  /// Build the initial adapted mesh resolving T0 and set initial fields.
+  void initialize(
+      const std::function<double(const std::array<double, 3>&)>& t0);
+
+  /// Advance `steps` time steps, adapting every cfg.adapt_every steps.
+  void run(int steps);
+
+  /// One adaptation cycle (public so benches can drive it directly).
+  void adapt_once();
+
+  const Mesh& mesh() const { return mesh_; }
+  const Forest& forest() const { return forest_; }
+  const std::vector<double>& temperature() const { return temperature_; }
+  const std::vector<double>& solution() const { return solution_; }
+  double time() const { return time_; }
+  int steps_taken() const { return steps_; }
+  PhaseTimers& timers() { return timers_; }
+  const std::vector<AdaptationStats>& adapt_history() const {
+    return adapt_history_;
+  }
+  std::int64_t global_elements() const;
+  par::Comm& comm() { return *comm_; }
+
+  /// Recompute the velocity (Stokes solve or prescription at `time_`).
+  void update_velocity();
+
+ private:
+  void extract_and_rebuild(std::span<const double> element_temps);
+
+  par::Comm* comm_;
+  SimConfig cfg_;
+  Forest forest_;
+  Mesh mesh_;
+  std::vector<double> temperature_;  // nodal, n_local
+  std::vector<double> solution_;     // 4-comp velocity+pressure
+  double time_ = 0.0;
+  int steps_ = 0;
+  PhaseTimers timers_;
+  std::vector<AdaptationStats> adapt_history_;
+  // Cached SUPG operator; invalidated when the mesh or velocity changes.
+  std::unique_ptr<energy::EnergySolver> energy_;
+};
+
+}  // namespace alps::rhea

@@ -1,0 +1,30 @@
+#include "rhea/viscosity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alps::rhea {
+
+stokes::ViscosityLaw arrhenius(double eta0, double activation) {
+  return [eta0, activation](const std::array<double, 3>&, double t,
+                            double) { return eta0 * std::exp(-activation * t); };
+}
+
+stokes::ViscosityLaw three_layer_yielding(const YieldingLawOptions& opt) {
+  return [opt](const std::array<double, 3>& x, double t, double edot) {
+    const double z = x[2];
+    const double arr = std::exp(-6.9 * t);
+    double eta;
+    if (z > 0.9) {
+      eta = 10.0 * arr;
+      if (edot > 0.0) eta = std::min(eta, opt.sigma_y / (2.0 * edot));
+    } else if (z > 0.77) {
+      eta = 0.8 * arr;
+    } else {
+      eta = 50.0 * arr;
+    }
+    return std::clamp(eta, opt.eta_min, opt.eta_max);
+  };
+}
+
+}  // namespace alps::rhea

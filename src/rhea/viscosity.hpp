@@ -1,0 +1,25 @@
+#pragma once
+// Mantle viscosity laws (paper Sec. VI): temperature-dependent layered
+// viscosity with plastic yielding in the lithosphere.
+
+#include "stokes/picard.hpp"
+
+namespace alps::rhea {
+
+/// Simple temperature-dependent law: eta = eta0 * exp(-activation * T).
+stokes::ViscosityLaw arrhenius(double eta0, double activation);
+
+/// The paper's three-layer law for a domain with depth coordinate z in
+/// [0, 1] (z = 1 is the surface):
+///   z > 0.9        : min(10 exp(-6.9 T), sigma_y / (2 edot))  [lithosphere]
+///   0.77 < z <= 0.9: 0.8 exp(-6.9 T)                          [aesthenosphere]
+///   z <= 0.77      : 50 exp(-6.9 T)                           [lower mantle]
+/// Viscosity is clamped to [eta_min, eta_max] for numerical safety.
+struct YieldingLawOptions {
+  double sigma_y = 1.0;   // nondimensional yield stress
+  double eta_min = 1e-4;
+  double eta_max = 1e4;
+};
+stokes::ViscosityLaw three_layer_yielding(const YieldingLawOptions& opt);
+
+}  // namespace alps::rhea

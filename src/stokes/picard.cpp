@@ -1,0 +1,125 @@
+#include "stokes/picard.hpp"
+
+#include <cmath>
+
+namespace alps::stokes {
+
+std::vector<double> strain_rate_invariant(const Mesh& m,
+                                          const forest::Connectivity& conn,
+                                          std::span<const double> x) {
+  std::vector<double> edot(m.elements.size() * 8, 0.0);
+  std::array<std::array<double, 3>, 8> ue;
+  for (std::size_t e = 0; e < m.elements.size(); ++e) {
+    const fem::MappedQuad mq =
+        fem::map_element(fem::element_geometry(m, conn, e));
+    for (int i = 0; i < 8; ++i) {
+      const mesh::Corner& cc = m.corners[e][static_cast<std::size_t>(i)];
+      for (int c = 0; c < 3; ++c) {
+        double v = 0.0;
+        for (int k = 0; k < cc.n; ++k)
+          v += cc.w[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(cc.dof[static_cast<std::size_t>(k)]) * 4 +
+                 static_cast<std::size_t>(c)];
+        ue[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)] = v;
+      }
+    }
+    for (int q = 0; q < fem::kQuad; ++q) {
+      double grad[3][3] = {};
+      for (int i = 0; i < 8; ++i)
+        for (int c = 0; c < 3; ++c)
+          for (int d = 0; d < 3; ++d)
+            grad[c][d] += ue[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)] *
+                          mq.dn[static_cast<std::size_t>(q)]
+                               [static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(d)];
+      const double div = grad[0][0] + grad[1][1] + grad[2][2];
+      double ss = 0.0;
+      for (int c = 0; c < 3; ++c)
+        for (int d = 0; d < 3; ++d) {
+          double eps = 0.5 * (grad[c][d] + grad[d][c]);
+          if (c == d) eps -= div / 3.0;  // deviatoric part
+          ss += eps * eps;
+        }
+      edot[8 * e + static_cast<std::size_t>(q)] = std::sqrt(0.5 * ss);
+    }
+  }
+  return edot;
+}
+
+std::vector<double> evaluate_viscosity(const Mesh& m,
+                                       const forest::Connectivity& conn,
+                                       const ViscosityLaw& law,
+                                       std::span<const double> temperature,
+                                       std::span<const double> x) {
+  const std::vector<double> edot = strain_rate_invariant(m, conn, x);
+  const auto& n = fem::shape_values();
+  std::vector<double> eta(m.elements.size() * 8);
+  std::array<double, 8> te;
+  for (std::size_t e = 0; e < m.elements.size(); ++e) {
+    const fem::MappedQuad mq =
+        fem::map_element(fem::element_geometry(m, conn, e));
+    for (int i = 0; i < 8; ++i) {
+      const mesh::Corner& cc = m.corners[e][static_cast<std::size_t>(i)];
+      te[static_cast<std::size_t>(i)] = 0.0;
+      for (int k = 0; k < cc.n; ++k)
+        te[static_cast<std::size_t>(i)] +=
+            cc.w[static_cast<std::size_t>(k)] *
+            temperature[static_cast<std::size_t>(cc.dof[static_cast<std::size_t>(k)])];
+    }
+    for (int q = 0; q < fem::kQuad; ++q) {
+      double tq = 0.0;
+      for (int i = 0; i < 8; ++i)
+        tq += n[static_cast<std::size_t>(q)][static_cast<std::size_t>(i)] *
+              te[static_cast<std::size_t>(i)];
+      eta[8 * e + static_cast<std::size_t>(q)] =
+          law(mq.xq[static_cast<std::size_t>(q)], tq,
+              edot[8 * e + static_cast<std::size_t>(q)]);
+    }
+  }
+  return eta;
+}
+
+PicardResult solve_nonlinear_stokes(par::Comm& comm, const Mesh& m,
+                                    const forest::Connectivity& conn,
+                                    const ViscosityLaw& law,
+                                    std::span<const double> temperature,
+                                    std::span<double> x,
+                                    const PicardOptions& opt) {
+  PicardResult result;
+  const std::size_t nl = static_cast<std::size_t>(m.n_local);
+  std::vector<double> prev(x.begin(), x.end());
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    const std::vector<double> eta =
+        evaluate_viscosity(m, conn, law, temperature, x);
+    StokesSolver solver(comm, m, conn, eta, opt.stokes);
+    const std::vector<double> rhs = StokesSolver::buoyancy_rhs(
+        comm, m, conn, temperature, opt.rayleigh, opt.buoyancy_dir,
+        opt.stokes);
+    result.solves.push_back(solver.solve(comm, rhs, x));
+    const StokesTimings& t = solver.timings();
+    result.timings.assemble_seconds += t.assemble_seconds;
+    result.timings.amg_setup_seconds += t.amg_setup_seconds;
+    result.timings.amg_apply_seconds += t.amg_apply_seconds;
+    result.timings.minres_seconds += t.minres_seconds;
+    result.iterations = it + 1;
+
+    // Relative change of velocity (owned entries).
+    double diff = 0.0, norm = 0.0;
+    for (std::int64_t d = 0; d < m.n_owned; ++d)
+      for (int c = 0; c < 3; ++c) {
+        const std::size_t i = static_cast<std::size_t>(d) * 4 +
+                              static_cast<std::size_t>(c);
+        diff += (x[i] - prev[i]) * (x[i] - prev[i]);
+        norm += x[i] * x[i];
+      }
+    diff = comm.allreduce_sum(diff);
+    norm = comm.allreduce_sum(norm);
+    result.velocity_change = norm > 0 ? std::sqrt(diff / norm) : 0.0;
+    if (result.velocity_change < opt.tolerance) break;
+    std::copy(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(4 * nl),
+              prev.begin());
+  }
+  return result;
+}
+
+}  // namespace alps::stokes

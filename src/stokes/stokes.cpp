@@ -1,0 +1,227 @@
+#include "stokes/stokes.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace alps::stokes {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::vector<double> gather_global(par::Comm& comm, const Mesh& m,
+                                  std::span<const double> local) {
+  // Owned slices are [gid_offset, gid_offset + n_owned) in rank order, so
+  // their concatenation is exactly the global vector.
+  std::vector<double> owned(local.begin(),
+                            local.begin() + static_cast<std::ptrdiff_t>(m.n_owned));
+  return comm.allgatherv(owned);
+}
+
+void set_velocity_bcs(ElementOperator& op, const Mesh& m, VelocityBc bc) {
+  for (std::int64_t d = 0; d < m.n_local; ++d) {
+    const std::uint8_t mask = m.dof_boundary[static_cast<std::size_t>(d)];
+    if (mask == 0) continue;
+    for (int c = 0; c < 3; ++c) {
+      const std::uint8_t faces = static_cast<std::uint8_t>(0b11u << (2 * c));
+      if (bc == VelocityBc::kNoSlip || (mask & faces)) op.set_dirichlet(d, c);
+    }
+  }
+}
+
+StokesSolver::StokesSolver(par::Comm& comm, const Mesh& m,
+                           const forest::Connectivity& conn,
+                           std::span<const double> eta_quad,
+                           const StokesOptions& opt)
+    : mesh_(&m), opt_(opt) {
+  const std::size_t ne = m.elements.size();
+  double t0 = now_seconds();
+
+  op_ = std::make_unique<ElementOperator>(&m, 4);
+  for (int c = 0; c < 3; ++c)
+    poisson_[static_cast<std::size_t>(c)] =
+        std::make_unique<ElementOperator>(&m, 1);
+  schur_diag_.assign(static_cast<std::size_t>(m.n_local), 0.0);
+
+  for (std::size_t e = 0; e < ne; ++e) {
+    const fem::ElemGeom g = fem::element_geometry(m, conn, e);
+    const fem::MappedQuad mq = fem::map_element(g);
+    std::array<double, fem::kQuad> eq;
+    double eta_bar = 0.0;
+    for (int q = 0; q < fem::kQuad; ++q) {
+      eq[static_cast<std::size_t>(q)] = eta_quad[8 * e + static_cast<std::size_t>(q)];
+      eta_bar += eq[static_cast<std::size_t>(q)];
+    }
+    eta_bar /= fem::kQuad;
+
+    const auto a = fem::viscous_block(mq, eq);
+    const auto b = fem::divergence_block(mq);
+    const fem::Mat8 cstab = fem::pressure_stabilization(mq, eta_bar);
+    const fem::Mat8 kpois = fem::stiffness(mq, eq);
+    const std::array<double, 8> lm = fem::lumped_mass(mq);
+
+    std::span<double> sm = op_->element_matrix(e);
+    const std::size_t bs = 32;
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j) {
+        for (int ci = 0; ci < 3; ++ci)
+          for (int cj = 0; cj < 3; ++cj)
+            sm[(static_cast<std::size_t>(4 * i + ci)) * bs + 4 * j + cj] =
+                a[static_cast<std::size_t>(3 * i + ci)]
+                 [static_cast<std::size_t>(3 * j + cj)];
+        for (int cj = 0; cj < 3; ++cj) {
+          sm[(static_cast<std::size_t>(4 * i + 3)) * bs + 4 * j + cj] =
+              b[static_cast<std::size_t>(i)][static_cast<std::size_t>(3 * j + cj)];
+          sm[(static_cast<std::size_t>(4 * j + cj)) * bs + 4 * i + 3] =
+              b[static_cast<std::size_t>(i)][static_cast<std::size_t>(3 * j + cj)];
+        }
+        sm[(static_cast<std::size_t>(4 * i + 3)) * bs + 4 * j + 3] =
+            -cstab[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      }
+
+    for (int c = 0; c < 3; ++c) {
+      std::span<double> pm =
+          poisson_[static_cast<std::size_t>(c)]->element_matrix(e);
+      for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 8; ++j)
+          pm[static_cast<std::size_t>(i) * 8 + static_cast<std::size_t>(j)] =
+              kpois[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+
+    // Schur diagonal: inverse-viscosity-weighted lumped mass.
+    for (int i = 0; i < 8; ++i) {
+      const mesh::Corner& cc = m.corners[e][static_cast<std::size_t>(i)];
+      for (int k = 0; k < cc.n; ++k)
+        schur_diag_[static_cast<std::size_t>(cc.dof[static_cast<std::size_t>(k)])] +=
+            cc.w[static_cast<std::size_t>(k)] *
+            lm[static_cast<std::size_t>(i)] / eta_bar;
+    }
+  }
+  m.accumulate(comm, schur_diag_);
+  m.exchange(comm, schur_diag_);
+
+  set_velocity_bcs(*op_, m, opt_.bc);
+  for (int c = 0; c < 3; ++c) {
+    ElementOperator& pc = *poisson_[static_cast<std::size_t>(c)];
+    for (std::int64_t d = 0; d < m.n_local; ++d) {
+      const std::uint8_t mask = m.dof_boundary[static_cast<std::size_t>(d)];
+      if (mask == 0) continue;
+      const std::uint8_t faces = static_cast<std::uint8_t>(0b11u << (2 * c));
+      if (opt_.bc == VelocityBc::kNoSlip || (mask & faces))
+        pc.set_dirichlet(d, 0);
+    }
+  }
+  timings_.assemble_seconds = now_seconds() - t0;
+
+  t0 = now_seconds();
+  for (int c = 0; c < 3; ++c) {
+    la::Csr global = poisson_[static_cast<std::size_t>(c)]->assemble_global(comm);
+    amg_[static_cast<std::size_t>(c)] =
+        std::make_unique<amg::Amg>(std::move(global), opt_.amg);
+  }
+  timings_.amg_setup_seconds = now_seconds() - t0;
+}
+
+void StokesSolver::apply_preconditioner(par::Comm& comm,
+                                        std::span<const double> x,
+                                        std::span<double> y) {
+  const double t0 = now_seconds();
+  const Mesh& m = *mesh_;
+  const std::size_t nl = static_cast<std::size_t>(m.n_local);
+  std::vector<double> comp(nl), yg;
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < nl; ++i) comp[i] = x[4 * i + static_cast<std::size_t>(c)];
+    const std::vector<double> xg = gather_global(comm, m, comp);
+    yg.assign(static_cast<std::size_t>(m.n_global), 0.0);
+    amg_[static_cast<std::size_t>(c)]->vcycle(xg, yg);
+    for (std::size_t i = 0; i < nl; ++i)
+      y[4 * i + static_cast<std::size_t>(c)] =
+          yg[static_cast<std::size_t>(m.dof_gids[i])];
+  }
+  for (std::size_t i = 0; i < nl; ++i)
+    y[4 * i + 3] = x[4 * i + 3] / schur_diag_[i];
+  timings_.amg_apply_seconds += now_seconds() - t0;
+}
+
+la::SolveResult StokesSolver::solve(par::Comm& comm,
+                                    std::span<const double> rhs,
+                                    std::span<double> x) {
+  const double t0 = now_seconds();
+  la::LinOp aop = op_->as_linop(comm);
+  la::LinOp pre = [this, &comm](std::span<const double> in,
+                                std::span<double> out) {
+    apply_preconditioner(comm, in, out);
+  };
+  la::SolveResult r =
+      la::minres(aop, rhs, x, pre, op_->as_dot(comm), opt_.krylov);
+  timings_.minres_seconds += now_seconds() - t0;
+
+  // Remove the constant-pressure mode (free-floating for enclosed flow).
+  const Mesh& m = *mesh_;
+  double psum = 0.0, n = 0.0;
+  for (std::int64_t i = 0; i < m.n_owned; ++i) {
+    psum += x[static_cast<std::size_t>(4 * i + 3)];
+    n += 1.0;
+  }
+  psum = comm.allreduce_sum(psum);
+  n = comm.allreduce_sum(n);
+  const double mean = psum / n;
+  for (std::int64_t i = 0; i < m.n_local; ++i)
+    x[static_cast<std::size_t>(4 * i + 3)] -= mean;
+  return r;
+}
+
+std::vector<double> StokesSolver::buoyancy_rhs(
+    par::Comm& comm, const Mesh& m, const forest::Connectivity& conn,
+    std::span<const double> temperature, double rayleigh, int dir,
+    const StokesOptions& opt) {
+  std::vector<double> rhs(static_cast<std::size_t>(m.n_local) * 4, 0.0);
+  std::vector<double> te(8);
+  for (std::size_t e = 0; e < m.elements.size(); ++e) {
+    const fem::MappedQuad mq =
+        fem::map_element(fem::element_geometry(m, conn, e));
+    const fem::Mat8 mm = fem::mass(mq);
+    // Gather element temperatures through constraints.
+    for (int i = 0; i < 8; ++i) {
+      const mesh::Corner& cc = m.corners[e][static_cast<std::size_t>(i)];
+      te[static_cast<std::size_t>(i)] = 0.0;
+      for (int k = 0; k < cc.n; ++k)
+        te[static_cast<std::size_t>(i)] +=
+            cc.w[static_cast<std::size_t>(k)] *
+            temperature[static_cast<std::size_t>(cc.dof[static_cast<std::size_t>(k)])];
+    }
+    for (int i = 0; i < 8; ++i) {
+      double f = 0.0;
+      for (int j = 0; j < 8; ++j)
+        f += mm[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+             te[static_cast<std::size_t>(j)];
+      f *= rayleigh;
+      const mesh::Corner& cc = m.corners[e][static_cast<std::size_t>(i)];
+      for (int k = 0; k < cc.n; ++k)
+        rhs[static_cast<std::size_t>(cc.dof[static_cast<std::size_t>(k)]) * 4 +
+            static_cast<std::size_t>(dir)] +=
+            cc.w[static_cast<std::size_t>(k)] * f;
+    }
+  }
+  m.accumulate(comm, rhs, 4);
+  m.exchange(comm, rhs, 4);
+  // Dirichlet velocity entries carry the boundary value (zero).
+  for (std::int64_t d = 0; d < m.n_local; ++d) {
+    const std::uint8_t mask = m.dof_boundary[static_cast<std::size_t>(d)];
+    if (mask == 0) continue;
+    for (int c = 0; c < 3; ++c) {
+      const std::uint8_t faces = static_cast<std::uint8_t>(0b11u << (2 * c));
+      if (opt.bc == VelocityBc::kNoSlip || (mask & faces))
+        rhs[static_cast<std::size_t>(d) * 4 + static_cast<std::size_t>(c)] = 0.0;
+    }
+  }
+  return rhs;
+}
+
+}  // namespace alps::stokes

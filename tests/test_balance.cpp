@@ -1,0 +1,116 @@
+// Tests for 2:1 balance by ripple propagation (src/octree/balance).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "octree/balance.hpp"
+#include "par/runtime.hpp"
+
+namespace {
+
+using namespace alps::octree;
+using alps::par::Comm;
+
+// Refine toward the domain center to build a deep, unbalanced tree: the
+// deepest leaf keeps its anchor at the center, so it stays face-adjacent
+// to the untouched coarse octants across the center planes (point
+// refinement toward a domain *corner* would stay graded).
+void refine_toward_origin(alps::par::Comm& c, LinearOctree& t, int times) {
+  const coord_t mid = coord_t{1} << (kMaxLevel - 1);
+  for (int round = 0; round < times; ++round) {
+    std::vector<std::int8_t> flags(t.leaves().size(), 0);
+    for (std::size_t i = 0; i < t.leaves().size(); ++i) {
+      const Octant& o = t.leaves()[i];
+      if (o.x == mid && o.y == mid && o.z == mid) flags[i] = 1;
+    }
+    t.adapt(flags, 0, kMaxLevel);
+  }
+  t.update_ranges(c);
+}
+
+class BalanceRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(BalanceRanks, UniformTreeIsAlreadyBalanced) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 3);
+    EXPECT_TRUE(is_balanced(c, t));
+    const std::int64_t before = t.num_global(c);
+    balance(c, t);
+    EXPECT_EQ(t.num_global(c), before);
+  });
+}
+
+TEST_P(BalanceRanks, DeepCornerRefinementGetsBalanced) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 1);
+    refine_toward_origin(c, t, 5);
+    EXPECT_FALSE(is_balanced(c, t));
+    balance(c, t);
+    EXPECT_TRUE(t.locally_valid());
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+    EXPECT_TRUE(is_balanced(c, t));
+  });
+}
+
+TEST_P(BalanceRanks, BalancePreservesExistingLeavesRegions) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 1);
+    refine_toward_origin(c, t, 4);
+    const std::int64_t before = t.num_global(c);
+    balance(c, t);
+    // Balance only refines, never coarsens.
+    EXPECT_GE(t.num_global(c), before);
+  });
+}
+
+TEST_P(BalanceRanks, FaceOnlyWeakerThanFaceEdge) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t_face = LinearOctree::new_uniform(c, 1, 1);
+    refine_toward_origin(c, t_face, 5);
+    LinearOctree t_edge = t_face;
+    balance(c, t_face, Adjacency::kFace);
+    balance(c, t_edge, Adjacency::kFaceEdge);
+    EXPECT_TRUE(is_balanced(c, t_face, Adjacency::kFace));
+    EXPECT_TRUE(is_balanced(c, t_edge, Adjacency::kFaceEdge));
+    EXPECT_LE(t_face.num_global(c), t_edge.num_global(c));
+  });
+}
+
+TEST_P(BalanceRanks, RandomRefinementPropertyTest) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    std::mt19937 rng(1234u + static_cast<unsigned>(c.rank()));
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 2);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::int8_t> flags(t.leaves().size(), 0);
+      std::uniform_int_distribution<int> coin(0, 4);
+      for (auto& f : flags)
+        if (coin(rng) == 0) f = 1;
+      t.adapt(flags, 0, 9);
+    }
+    t.update_ranges(c);
+    balance(c, t);
+    EXPECT_TRUE(is_balanced(c, t));
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+    // Full-connectivity balance is the strongest variant.
+    balance(c, t, Adjacency::kFull);
+    EXPECT_TRUE(is_balanced(c, t, Adjacency::kFull));
+  });
+}
+
+TEST_P(BalanceRanks, RoundCountScalesWithDepth) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree shallow = LinearOctree::new_uniform(c, 1, 1);
+    refine_toward_origin(c, shallow, 2);
+    LinearOctree deep = LinearOctree::new_uniform(c, 1, 1);
+    refine_toward_origin(c, deep, 7);
+    const int r_shallow = balance(c, shallow);
+    const int r_deep = balance(c, deep);
+    EXPECT_LE(r_shallow, r_deep);
+    EXPECT_LE(r_deep, 10);  // bounded by the number of levels + epsilon
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BalanceRanks, ::testing::Values(1, 2, 4, 7));
+
+}  // namespace

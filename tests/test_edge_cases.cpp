@@ -1,0 +1,172 @@
+// Edge cases and failure injection across modules: deep refinement near
+// the coordinate limits, empty ranks, degenerate inputs, and argument
+// validation (the error paths a downstream user will eventually hit).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/fields.hpp"
+#include "octree/balance.hpp"
+#include "octree/mark.hpp"
+#include "octree/partition.hpp"
+#include "par/runtime.hpp"
+
+namespace {
+
+using namespace alps::octree;
+using alps::forest::Connectivity;
+using alps::forest::Forest;
+using alps::par::Comm;
+
+TEST(EdgeCases, DeepRefinementNearMaxLevel) {
+  alps::par::run(1, [](Comm& c) {
+    // Drive one element to kMaxLevel; coordinates sit at the bottom of
+    // the Morton range and must not overflow or alias.
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 1);
+    for (int round = 0; round < kMaxLevel - 1; ++round) {
+      std::vector<std::int8_t> flags(t.leaves().size(), 0);
+      flags[0] = 1;
+      t.adapt(flags, 0, kMaxLevel);
+    }
+    int deepest = 0;
+    for (const Octant& o : t.leaves())
+      deepest = std::max(deepest, static_cast<int>(o.level));
+    EXPECT_EQ(deepest, kMaxLevel);
+    EXPECT_TRUE(t.locally_valid());
+    // Refinement past kMaxLevel is refused by the clamp.
+    std::vector<std::int8_t> flags(t.leaves().size(), 1);
+    const std::int64_t n = t.num_local();
+    t.adapt(flags, 0, kMaxLevel);
+    int over = 0;
+    for (const Octant& o : t.leaves())
+      if (o.level > kMaxLevel) over++;
+    EXPECT_EQ(over, 0);
+    EXPECT_GT(t.num_local(), n);  // shallower leaves still refined
+  });
+}
+
+TEST(EdgeCases, MoreRanksThanElements) {
+  alps::par::run(7, [](Comm& c) {
+    // A level-0 forest with 2 trees on 7 ranks: most ranks own nothing;
+    // every collective algorithm must still work.
+    LinearOctree t = LinearOctree::new_uniform(c, 2, 0);
+    EXPECT_EQ(t.num_global(c), 2);
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+    balance(c, t);
+    partition(c, t);
+    EXPECT_EQ(t.num_global(c), 2);
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+    // Refining everything gives each rank some work again.
+    std::vector<std::int8_t> flags(t.leaves().size(), 1);
+    t.adapt(flags, 0, 3);
+    t.update_ranges(c);
+    partition(c, t);
+    EXPECT_EQ(t.num_global(c), 16);
+  });
+}
+
+TEST(EdgeCases, MeshExtractionWithEmptyRank) {
+  alps::par::run(5, [](Comm& c) {
+    // 4 elements on 5 ranks: one rank has no elements but participates in
+    // numbering, exchange and field conversion.
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 0);
+    std::vector<std::int8_t> flags(f.tree().leaves().size(), 1);
+    f.tree().adapt(flags, 0, 2);
+    f.tree().update_ranges(c);
+    alps::mesh::Mesh m = alps::mesh::extract_mesh(c, f);
+    EXPECT_EQ(m.n_global, 27);  // 8 elements -> 3^3 nodes
+    std::vector<double> v(static_cast<std::size_t>(m.n_local), 1.0);
+    m.exchange(c, v);
+    const std::vector<double> ev = alps::mesh::to_element_values(m, v);
+    for (double x : ev) EXPECT_DOUBLE_EQ(x, 1.0);
+  });
+}
+
+TEST(EdgeCases, AdaptRejectsWrongFlagCount) {
+  alps::par::run(1, [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 1);
+    std::vector<std::int8_t> flags(3, 0);
+    EXPECT_THROW(t.adapt(flags, 0, 5), std::invalid_argument);
+  });
+}
+
+TEST(EdgeCases, PartitionRejectsMismatchedPayload) {
+  alps::par::run(2, [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 2);
+    LeafPayload bad{4, std::vector<double>(3, 0.0)};
+    LeafPayload* ps[] = {&bad};
+    EXPECT_THROW(partition(c, t, ps), std::invalid_argument);
+  });
+}
+
+TEST(EdgeCases, MarkRejectsWrongIndicatorCount) {
+  alps::par::run(1, [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 2);
+    std::vector<double> eta(5, 1.0);
+    MarkOptions opt;
+    EXPECT_THROW(mark_elements(c, t, eta, opt), std::invalid_argument);
+  });
+}
+
+TEST(EdgeCases, BalanceIdempotent) {
+  alps::par::run(2, [](Comm& c) {
+    const coord_t mid = coord_t{1} << (kMaxLevel - 1);
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 1);
+    for (int round = 0; round < 5; ++round) {
+      std::vector<std::int8_t> flags(t.leaves().size(), 0);
+      for (std::size_t i = 0; i < t.leaves().size(); ++i) {
+        const Octant& o = t.leaves()[i];
+        if (o.x == mid && o.y == mid && o.z == mid) flags[i] = 1;
+      }
+      t.adapt(flags, 0, kMaxLevel);
+    }
+    t.update_ranges(c);
+    balance(c, t);
+    const std::vector<Octant> once = t.leaves();
+    const int rounds = balance(c, t);
+    EXPECT_EQ(t.leaves(), once);   // fixpoint
+    EXPECT_EQ(rounds, 1);          // detected in a single no-op round
+  });
+}
+
+TEST(EdgeCases, WeightedPartitionWithTinyWeights) {
+  alps::par::run(3, [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 2);
+    std::vector<double> w(static_cast<std::size_t>(t.num_local()), 1e-300);
+    partition(c, t, {}, w);
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+  });
+}
+
+TEST(EdgeCases, WeightedPartitionRejectsAllZeroWeights) {
+  alps::par::run(2, [](Comm& c) {
+    // A zero global weight sum would make destination ranks NaN; the
+    // library refuses instead of silently collapsing the partition.
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 2);
+    std::vector<double> w(static_cast<std::size_t>(t.num_local()), 0.0);
+    EXPECT_THROW(partition(c, t, {}, w), std::invalid_argument);
+  });
+}
+
+TEST(EdgeCases, CubedSphereDeepAdaptAcrossCapCorners) {
+  alps::par::run(2, [](Comm& c) {
+    // Refine exactly at a cube-corner tree junction (3 caps meet) and
+    // confirm balance converges and the forest stays complete.
+    Forest f = Forest::new_uniform(c, Connectivity::cubed_sphere_shell(), 1);
+    for (int round = 0; round < 3; ++round) {
+      std::vector<std::int8_t> flags(f.tree().leaves().size(), 0);
+      for (std::size_t i = 0; i < flags.size(); ++i) {
+        const Octant& o = f.tree().leaves()[i];
+        if (o.tree == 0 && o.x == 0 && o.y == 0) flags[i] = 1;
+      }
+      f.tree().adapt(flags, 0, 5);
+    }
+    f.tree().update_ranges(c);
+    f.balance(c);
+    EXPECT_TRUE(f.is_balanced(c));
+    EXPECT_TRUE(LinearOctree::globally_complete(c, f.tree()));
+  });
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Tests for the SUPG advection-diffusion solver (src/energy).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/energy.hpp"
+#include "par/runtime.hpp"
+
+namespace {
+
+using namespace alps;
+using energy::EnergyOptions;
+using energy::EnergySolver;
+using forest::Connectivity;
+using forest::Forest;
+using mesh::extract_mesh;
+using mesh::Mesh;
+using par::Comm;
+
+std::vector<double> zero_velocity(const Mesh& m) {
+  return std::vector<double>(static_cast<std::size_t>(m.n_local) * 4, 0.0);
+}
+
+class EnergyRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnergyRanks, ConductiveProfileIsSteadyState) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 3);
+    Mesh m = extract_mesh(c, f);
+    // T = 1 - z satisfies Laplace(T) = 0 with T(bottom)=1, T(top)=0.
+    std::vector<double> t = fem::interpolate(
+        m, [](const std::array<double, 3>& p) { return 1.0 - p[2]; });
+    const std::vector<double> t0 = t;
+    EnergyOptions opt;
+    EnergySolver solver(c, m, f.connectivity(), zero_velocity(m), opt);
+    const double dt = solver.stable_dt(c);
+    EXPECT_GT(dt, 0.0);
+    for (int s = 0; s < 5; ++s) solver.step(c, t, dt);
+    for (std::size_t i = 0; i < t.size(); ++i)
+      EXPECT_NEAR(t[i], t0[i], 1e-10);
+  });
+}
+
+TEST_P(EnergyRanks, DiffusionDecaysPerturbation) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 3);
+    Mesh m = extract_mesh(c, f);
+    std::vector<double> t = fem::interpolate(m, [](const std::array<double, 3>& p) {
+      return (1.0 - p[2]) +
+             0.2 * std::sin(M_PI * p[2]) * std::sin(2 * M_PI * p[0]);
+    });
+    EnergyOptions opt;
+    EnergySolver solver(c, m, f.connectivity(), zero_velocity(m), opt);
+    const auto energy_norm = [&](const std::vector<double>& v) {
+      double s = 0;
+      for (std::int64_t i = 0; i < m.n_owned; ++i) {
+        const double d = v[static_cast<std::size_t>(i)] -
+                         (1.0 - m.dof_coords[static_cast<std::size_t>(i)][2]);
+        s += d * d;
+      }
+      return c.allreduce_sum(s);
+    };
+    const double e0 = energy_norm(t);
+    const double dt = solver.stable_dt(c);
+    for (int s = 0; s < 20; ++s) solver.step(c, t, dt);
+    EXPECT_LT(energy_norm(t), 0.9 * e0);
+  });
+}
+
+TEST_P(EnergyRanks, UniformAdvectionMovesBlob) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 4);
+    Mesh m = extract_mesh(c, f);
+    const auto blob = [](const std::array<double, 3>& p) {
+      const double dx = p[0] - 0.3, dy = p[1] - 0.5, dz = p[2] - 0.5;
+      return std::exp(-100.0 * (dx * dx + dy * dy + dz * dz));
+    };
+    std::vector<double> t = fem::interpolate(m, blob);
+    std::vector<double> vel(static_cast<std::size_t>(m.n_local) * 4, 0.0);
+    for (std::int64_t d = 0; d < m.n_local; ++d)
+      vel[static_cast<std::size_t>(d) * 4] = 1.0;  // u = (1,0,0)
+    EnergyOptions opt;
+    opt.kappa = 1e-6;  // high-Peclet transport, as in the paper's tests
+    opt.dirichlet_faces = 0b111111;
+    EnergySolver solver(c, m, f.connectivity(), vel, opt);
+    const double dt = solver.stable_dt(c);
+    double moved = 0.0;
+    const int nsteps = 8;  // keep the blob away from the outflow boundary
+    for (int s = 0; s < nsteps; ++s) solver.step(c, t, dt);
+    moved = nsteps * dt;
+    // Center of mass along x should shift by ~moved.
+    double cx = 0.0, mass = 0.0;
+    for (std::int64_t i = 0; i < m.n_owned; ++i) {
+      cx += t[static_cast<std::size_t>(i)] *
+            m.dof_coords[static_cast<std::size_t>(i)][0];
+      mass += t[static_cast<std::size_t>(i)];
+    }
+    cx = c.allreduce_sum(cx);
+    mass = c.allreduce_sum(mass);
+    EXPECT_NEAR(cx / mass, 0.3 + moved, 0.02);
+  });
+}
+
+TEST_P(EnergyRanks, SupgLimitsOvershoots) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    // Sharp front advection at vanishing diffusivity: Galerkin without
+    // SUPG would oscillate wildly; SUPG keeps overshoots modest.
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 4);
+    Mesh m = extract_mesh(c, f);
+    std::vector<double> t = fem::interpolate(m, [](const std::array<double, 3>& p) {
+      return p[0] < 0.3 ? 1.0 : 0.0;
+    });
+    std::vector<double> vel(static_cast<std::size_t>(m.n_local) * 4, 0.0);
+    for (std::int64_t d = 0; d < m.n_local; ++d)
+      vel[static_cast<std::size_t>(d) * 4] = 1.0;
+    EnergyOptions opt;
+    opt.kappa = 1e-9;
+    opt.dirichlet_faces = 0b000001;  // inflow only
+    EnergySolver solver(c, m, f.connectivity(), vel, opt);
+    const double dt = solver.stable_dt(c);
+    for (int s = 0; s < 30; ++s) solver.step(c, t, dt);
+    double tmin = 1e30, tmax = -1e30;
+    for (std::int64_t i = 0; i < m.n_owned; ++i) {
+      tmin = std::min(tmin, t[static_cast<std::size_t>(i)]);
+      tmax = std::max(tmax, t[static_cast<std::size_t>(i)]);
+    }
+    tmin = c.allreduce_min(tmin);
+    tmax = c.allreduce_max(tmax);
+    EXPECT_GT(tmin, -0.35);
+    EXPECT_LT(tmax, 1.35);
+  });
+}
+
+TEST_P(EnergyRanks, InternalHeatingRaisesTemperature) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 3);
+    Mesh m = extract_mesh(c, f);
+    std::vector<double> t(static_cast<std::size_t>(m.n_local), 0.0);
+    EnergyOptions opt;
+    opt.heat_source = 5.0;
+    EnergySolver solver(c, m, f.connectivity(), zero_velocity(m), opt);
+    const double dt = solver.stable_dt(c);
+    for (int s = 0; s < 10; ++s) solver.step(c, t, dt);
+    double interior_max = 0.0;
+    for (std::int64_t i = 0; i < m.n_owned; ++i)
+      if (m.dof_boundary[static_cast<std::size_t>(i)] == 0)
+        interior_max = std::max(interior_max, t[static_cast<std::size_t>(i)]);
+    EXPECT_GT(c.allreduce_max(interior_max), 0.0);
+  });
+}
+
+TEST_P(EnergyRanks, StableDtShrinksWithRefinement) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    EnergyOptions opt;
+    opt.kappa = 1e-6;
+    double dts[2];
+    int k = 0;
+    for (int level : {3, 4}) {
+      Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), level);
+      Mesh m = extract_mesh(c, f);
+      std::vector<double> vel(static_cast<std::size_t>(m.n_local) * 4, 0.0);
+      for (std::int64_t d = 0; d < m.n_local; ++d)
+        vel[static_cast<std::size_t>(d) * 4] = 1.0;
+      EnergySolver solver(c, m, f.connectivity(), vel, opt);
+      dts[k++] = solver.stable_dt(c);
+    }
+    EXPECT_NEAR(dts[1], 0.5 * dts[0], 1e-9);  // advective limit halves
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EnergyRanks, ::testing::Values(1, 2));
+
+}  // namespace

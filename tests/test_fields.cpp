@@ -1,0 +1,156 @@
+// Tests for field interpolation and transfer across adaptation and
+// repartitioning (src/mesh/fields) — the full Fig. 4 pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/fields.hpp"
+#include "octree/partition.hpp"
+#include "par/runtime.hpp"
+
+namespace {
+
+using namespace alps::mesh;
+using alps::forest::Connectivity;
+using alps::forest::Forest;
+using alps::octree::Adjacency;
+using alps::octree::compute_correspondence;
+using alps::octree::Correspondence;
+using alps::octree::kMaxLevel;
+using alps::octree::LeafPayload;
+using alps::octree::Octant;
+using alps::par::Comm;
+
+double linear_f(const std::array<double, 3>& p) {
+  return 0.25 + 1.5 * p[0] - 2.0 * p[1] + 3.0 * p[2];
+}
+
+std::vector<double> sample_linear(const Forest& /*f*/, const Mesh& m) {
+  std::vector<double> nodal(static_cast<std::size_t>(m.n_local));
+  for (std::size_t i = 0; i < nodal.size(); ++i)
+    nodal[i] = linear_f(m.dof_coords[i]);
+  return nodal;
+}
+
+class FieldRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(FieldRanks, RoundTripNodalElementNodal) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 3);
+    Mesh m = extract_mesh(c, f);
+    std::vector<double> nodal(static_cast<std::size_t>(m.n_local));
+    for (std::int64_t i = 0; i < m.n_owned; ++i)
+      nodal[static_cast<std::size_t>(i)] =
+          std::cos(0.01 * static_cast<double>(m.dof_gids[static_cast<std::size_t>(i)]));
+    m.exchange(c, nodal);
+    const std::vector<double> ev = to_element_values(m, nodal);
+    const std::vector<double> back = from_element_values(c, m, ev);
+    for (std::int64_t i = 0; i < m.n_local; ++i)
+      EXPECT_NEAR(back[static_cast<std::size_t>(i)],
+                  nodal[static_cast<std::size_t>(i)], 1e-14);
+  });
+}
+
+TEST_P(FieldRanks, RefineAllPreservesLinearExactly) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 2);
+    Mesh m = extract_mesh(c, f);
+    const std::vector<double> nodal = sample_linear(f, m);
+    std::vector<double> ev = to_element_values(m, nodal);
+
+    const std::vector<Octant> old_leaves = f.tree().leaves();
+    std::vector<std::int8_t> flags(old_leaves.size(), 1);
+    f.tree().adapt(flags, 0, kMaxLevel);
+    const Correspondence corr =
+        compute_correspondence(old_leaves, f.tree().leaves());
+    ev = interpolate_element_values(old_leaves, f.tree().leaves(), corr, ev);
+
+    Mesh m2 = extract_mesh(c, f);
+    const std::vector<double> nodal2 = from_element_values(c, m2, ev);
+    for (std::size_t i = 0; i < nodal2.size(); ++i)
+      EXPECT_NEAR(nodal2[i], linear_f(m2.dof_coords[i]), 1e-12);
+  });
+}
+
+TEST_P(FieldRanks, CoarsenUndoesRefineExactly) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 3);
+    Mesh m = extract_mesh(c, f);
+    std::vector<double> nodal(static_cast<std::size_t>(m.n_local));
+    for (std::int64_t i = 0; i < m.n_owned; ++i)
+      nodal[static_cast<std::size_t>(i)] =
+          std::sin(0.37 * static_cast<double>(m.dof_gids[static_cast<std::size_t>(i)]));
+    m.exchange(c, nodal);
+    std::vector<double> ev0 = to_element_values(m, nodal);
+
+    // Refine everything, then coarsen back.
+    std::vector<Octant> leaves0 = f.tree().leaves();
+    std::vector<std::int8_t> flags(leaves0.size(), 1);
+    f.tree().adapt(flags, 0, kMaxLevel);
+    Correspondence up = compute_correspondence(leaves0, f.tree().leaves());
+    std::vector<double> ev1 =
+        interpolate_element_values(leaves0, f.tree().leaves(), up, ev0);
+
+    std::vector<Octant> leaves1 = f.tree().leaves();
+    flags.assign(leaves1.size(), -1);
+    f.tree().adapt(flags, 0, kMaxLevel);
+    Correspondence down = compute_correspondence(leaves1, f.tree().leaves());
+    std::vector<double> ev2 =
+        interpolate_element_values(leaves1, f.tree().leaves(), down, ev1);
+
+    ASSERT_EQ(f.tree().leaves(), leaves0);
+    for (std::size_t i = 0; i < ev0.size(); ++i)
+      EXPECT_NEAR(ev2[i], ev0[i], 1e-14);
+  });
+}
+
+TEST_P(FieldRanks, FullAdaptPipelineKeepsLinearField) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    // The complete Fig. 4 cycle: adapt -> balance -> interpolate ->
+    // partition(+transfer) -> extract -> nodal, with a linear field that
+    // must survive bit-for-bit (trilinear elements reproduce linears).
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 2);
+    Mesh m = extract_mesh(c, f);
+    std::vector<double> ev = to_element_values(m, sample_linear(f, m));
+
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      // Mark: refine near the moving point, coarsen elsewhere.
+      const double cx = 0.25 + 0.2 * cycle;
+      std::vector<std::int8_t> flags(f.tree().leaves().size(), -1);
+      const auto& conn = f.connectivity();
+      for (std::size_t e = 0; e < f.tree().leaves().size(); ++e) {
+        const Octant& o = f.tree().leaves()[e];
+        const alps::octree::coord_t h = alps::octree::octant_len(o.level);
+        const auto p = conn.map_point(o.tree, o.x + h / 2, o.y + h / 2, o.z + h / 2);
+        const double d = std::abs(p[0] - cx) + std::abs(p[1] - 0.5) +
+                         std::abs(p[2] - 0.5);
+        if (d < 0.3 && o.level < 5) flags[e] = 1;
+      }
+      std::vector<Octant> old_leaves = f.tree().leaves();
+      f.tree().adapt(flags, 2, 5);
+      f.balance(c, Adjacency::kFaceEdge);
+      Correspondence corr =
+          compute_correspondence(old_leaves, f.tree().leaves());
+      ev = interpolate_element_values(old_leaves, f.tree().leaves(), corr, ev);
+
+      // Repartition with the element values as payload.
+      LeafPayload payload{8, ev};
+      LeafPayload* ps[] = {&payload};
+      f.partition(c, ps);
+      ev = std::move(payload.data);
+
+      Mesh m2 = extract_mesh(c, f);
+      const std::vector<double> nodal = from_element_values(c, m2, ev);
+      for (std::size_t i = 0; i < nodal.size(); ++i)
+        EXPECT_NEAR(nodal[i], linear_f(m2.dof_coords[i]), 1e-11)
+            << "cycle " << cycle;
+      // Keep going with exact element values for the next cycle.
+      ev = to_element_values(m2, nodal);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FieldRanks, ::testing::Values(1, 2, 4));
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for the VTK writer (src/io) and the adjoint indicator
+// (src/rhea/indicator extension).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fem/operators.hpp"
+#include "io/vtk.hpp"
+#include "mesh/fields.hpp"
+#include "rhea/indicator.hpp"
+#include "par/runtime.hpp"
+
+namespace {
+
+using namespace alps;
+using forest::Connectivity;
+using forest::Forest;
+using par::Comm;
+
+class IoRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoRanks, VtkFileHasConsistentCounts) {
+  const std::string path =
+      "/tmp/alps_test_" + std::to_string(GetParam()) + ".vtk";
+  alps::par::run(GetParam(), [&path](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 2);
+    mesh::Mesh m = mesh::extract_mesh(c, f);
+    std::vector<double> nodal = fem::interpolate(
+        m, [](const std::array<double, 3>& p) { return p[0] + p[1]; });
+    io::VtkField field{"T", mesh::to_element_values(m, nodal)};
+    io::write_vtk(c, f.connectivity(), m, path, {field});
+  });
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::int64_t points = 0, cells = 0;
+  bool has_level = false, has_t = false;
+  std::int64_t data_lines = 0;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::string tok;
+    ss >> tok;
+    if (tok == "POINTS") ss >> points;
+    if (tok == "CELLS") ss >> cells;
+    if (line.rfind("SCALARS level", 0) == 0) has_level = true;
+    if (line.rfind("SCALARS T", 0) == 0) has_t = true;
+    data_lines++;
+  }
+  EXPECT_EQ(cells, 64);
+  EXPECT_EQ(points, 8 * 64);
+  EXPECT_TRUE(has_level);
+  EXPECT_TRUE(has_t);
+  EXPECT_GT(data_lines, points);  // point data present
+  std::remove(path.c_str());
+}
+
+TEST_P(IoRanks, VtkRejectsWrongFieldSize) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 1);
+    mesh::Mesh m = mesh::extract_mesh(c, f);
+    io::VtkField bad{"x", std::vector<double>(3, 0.0)};
+    EXPECT_THROW(io::write_vtk(c, f.connectivity(), m, "/tmp/x.vtk", {bad}),
+                 std::invalid_argument);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IoRanks, ::testing::Values(1, 2));
+
+TEST(AdjointIndicator, ConcentratesUpstreamOfGoal) {
+  alps::par::run(1, [](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 3);
+    mesh::Mesh m = mesh::extract_mesh(c, f);
+    // Temperature varies everywhere; flow is +x; the goal sits at the
+    // right wall, so the adjoint spreads leftward from it and the
+    // indicator must prefer the right half (the region whose errors are
+    // advected INTO the goal) over the far-left inflow corner.
+    std::vector<double> t = fem::interpolate(m, [](const std::array<double, 3>& p) {
+      return std::sin(3.0 * p[0]) * std::cos(2.0 * p[1]) * std::cos(p[2]);
+    });
+    std::vector<double> vel(static_cast<std::size_t>(m.n_local) * 4, 0.0);
+    for (std::int64_t d = 0; d < m.n_local; ++d)
+      vel[static_cast<std::size_t>(d * 4)] = 1.0;
+    const auto goal = [](const std::array<double, 3>& p) {
+      return p[0] > 0.85 ? 1.0 : 0.0;
+    };
+    const std::vector<double> eta = rhea::adjoint_indicator(
+        c, m, f.connectivity(), t, vel, goal, 1e-4, 5);
+    double left = 0, right = 0;
+    const auto& conn = f.connectivity();
+    for (std::size_t e = 0; e < m.elements.size(); ++e) {
+      const auto& o = m.elements[e];
+      const auto h = alps::octree::octant_len(o.level);
+      const auto p = conn.map_point(o.tree, o.x + h / 2, o.y + h / 2, o.z + h / 2);
+      (p[0] < 0.5 ? left : right) += eta[e];
+    }
+    EXPECT_GT(right, 2.0 * left);
+  });
+}
+
+TEST(AdjointIndicator, ZeroGoalGivesZeroIndicator) {
+  alps::par::run(1, [](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 2);
+    mesh::Mesh m = mesh::extract_mesh(c, f);
+    std::vector<double> t = fem::interpolate(
+        m, [](const std::array<double, 3>& p) { return p[0]; });
+    std::vector<double> vel(static_cast<std::size_t>(m.n_local) * 4, 0.0);
+    const std::vector<double> eta = rhea::adjoint_indicator(
+        c, m, f.connectivity(), t, vel,
+        [](const std::array<double, 3>&) { return 0.0; }, 1e-4, 5);
+    for (double e : eta) EXPECT_NEAR(e, 0.0, 1e-14);
+  });
+}
+
+}  // namespace

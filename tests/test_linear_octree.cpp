@@ -1,0 +1,174 @@
+// Tests for the distributed linear octree (src/octree/linear_octree).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "octree/linear_octree.hpp"
+#include "par/runtime.hpp"
+
+namespace {
+
+using namespace alps::octree;
+using alps::par::Comm;
+
+class TreeRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeRanks, NewUniformIsCompleteAndEvenlySplit) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    const int level = 3;
+    LinearOctree t = LinearOctree::new_uniform(c, 1, level);
+    EXPECT_TRUE(t.locally_valid());
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+    EXPECT_EQ(t.num_global(c), 512);
+    const std::int64_t ideal = 512 / c.size();
+    EXPECT_LE(std::abs(t.num_local() - ideal), 1);
+    for (const Octant& o : t.leaves()) EXPECT_EQ(o.level, level);
+  });
+}
+
+TEST_P(TreeRanks, GrowPruneMatchesDirectConstruction) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    // The paper's grow-then-prune NEWTREE and the direct construction
+    // must produce identical distributed forests.
+    for (std::int32_t trees : {1, 3}) {
+      for (int level : {0, 1, 3}) {
+        LinearOctree direct = LinearOctree::new_uniform(c, trees, level);
+        LinearOctree grown =
+            LinearOctree::new_uniform_grow_prune(c, trees, level);
+        EXPECT_EQ(direct.leaves(), grown.leaves());
+        EXPECT_EQ(direct.range_begins(), grown.range_begins());
+      }
+    }
+  });
+}
+
+TEST_P(TreeRanks, NewUniformMultiTree) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 5, 2);
+    EXPECT_EQ(t.num_global(c), 5 * 64);
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+  });
+}
+
+TEST_P(TreeRanks, OwnerOfIsConsistentWithOwnership) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 3);
+    // Every local leaf must claim this rank as owner.
+    for (const Octant& o : t.leaves()) EXPECT_EQ(t.owner_of(o), c.rank());
+    // And every rank agrees on the owner of every leaf (spot-check roots).
+    Octant probe{0, 0, 0, 0, 0};
+    const int owner = t.owner_of(probe);
+    const std::vector<int> all = c.allgather(owner);
+    for (int v : all) EXPECT_EQ(v, all[0]);
+  });
+}
+
+TEST_P(TreeRanks, FindContainingLocatesAncestorsAndLeaves) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 3);
+    for (const Octant& o : t.leaves()) {
+      EXPECT_GE(t.find_containing(o), 0);
+      // A descendant of a local leaf is found through ancestry.
+      const Octant d = o.child(3).child(6);
+      const std::int64_t idx = t.find_containing(d);
+      ASSERT_GE(idx, 0);
+      EXPECT_TRUE(t.leaves()[static_cast<std::size_t>(idx)].is_ancestor_of(d));
+    }
+  });
+}
+
+TEST_P(TreeRanks, RefineAllThenCoarsenAllRestoresTree) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 2);
+    const std::vector<Octant> before = t.leaves();
+    std::vector<std::int8_t> refine(t.leaves().size(), 1);
+    t.adapt(refine, 0, kMaxLevel);
+    EXPECT_EQ(t.num_global(c), 8 * 64);
+    EXPECT_TRUE(t.locally_valid());
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+    std::vector<std::int8_t> coarsen(t.leaves().size(), -1);
+    t.adapt(coarsen, 0, kMaxLevel);
+    EXPECT_EQ(t.leaves(), before);
+  });
+}
+
+TEST_P(TreeRanks, CoarsenStopsAtPartitionBoundaries) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    // The paper forbids coarsening sibling sets that span ranks; the
+    // count can therefore stay above the ideal 1/8 but completeness holds.
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 3);
+    std::vector<std::int8_t> flags(t.leaves().size(), -1);
+    t.adapt(flags, 0, kMaxLevel);
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+    const std::int64_t n = t.num_global(c);
+    EXPECT_GE(n, 64);
+    EXPECT_LE(n, 64 + 7 * (c.size() - 1));
+  });
+}
+
+TEST_P(TreeRanks, AdaptRespectsLevelClamps) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 2);
+    std::vector<std::int8_t> flags(t.leaves().size(), 1);
+    t.adapt(flags, 0, 2);  // max_level == current level: no-op
+    EXPECT_EQ(t.num_global(c), 64);
+    flags.assign(t.leaves().size(), -1);
+    t.adapt(flags, 2, kMaxLevel);  // min_level == current level: no-op
+    EXPECT_EQ(t.num_global(c), 64);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeRanks, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Correspondence, IdentitySameKinds) {
+  alps::par::run(1, [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 2);
+    Correspondence cor = compute_correspondence(t.leaves(), t.leaves());
+    ASSERT_EQ(cor.entries.size(), t.leaves().size());
+    for (std::size_t i = 0; i < cor.entries.size(); ++i) {
+      EXPECT_EQ(cor.entries[i].kind, Correspondence::Kind::kSame);
+      EXPECT_EQ(cor.entries[i].old_begin, static_cast<std::int64_t>(i));
+    }
+  });
+}
+
+TEST(Correspondence, MixedRefineCoarsen) {
+  alps::par::run(1, [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 2);
+    const std::vector<Octant> old_leaves = t.leaves();
+    // Refine first leaf, coarsen the second full sibling group (8..15).
+    std::vector<std::int8_t> flags(old_leaves.size(), 0);
+    flags[0] = 1;
+    for (std::size_t i = 8; i < 16; ++i) flags[i] = -1;
+    t.adapt(flags, 0, kMaxLevel);
+    Correspondence cor = compute_correspondence(old_leaves, t.leaves());
+    // First 8 new leaves come from refining old leaf 0.
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(cor.entries[static_cast<std::size_t>(i)].kind,
+                Correspondence::Kind::kRefined);
+      EXPECT_EQ(cor.entries[static_cast<std::size_t>(i)].old_begin, 0);
+    }
+    // Next 7 unchanged (old 1..7).
+    for (int i = 8; i < 15; ++i)
+      EXPECT_EQ(cor.entries[static_cast<std::size_t>(i)].kind,
+                Correspondence::Kind::kSame);
+    // Then one coarsened leaf absorbing old 8..15.
+    EXPECT_EQ(cor.entries[15].kind, Correspondence::Kind::kCoarsened);
+    EXPECT_EQ(cor.entries[15].old_begin, 8);
+    EXPECT_EQ(cor.entries[15].old_end, 16);
+  });
+}
+
+TEST(Correspondence, ThrowsOnMismatchedRegions) {
+  alps::par::run(1, [](Comm& c) {
+    LinearOctree a = LinearOctree::new_uniform(c, 1, 1);
+    LinearOctree b = LinearOctree::new_uniform(c, 1, 2);
+    std::vector<Octant> truncated = b.leaves();
+    truncated.pop_back();
+    EXPECT_THROW(compute_correspondence(a.leaves(), truncated),
+                 std::runtime_error);
+  });
+}
+
+}  // namespace

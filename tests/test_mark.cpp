@@ -1,0 +1,117 @@
+// Tests for MARKELEMENTS threshold iteration (src/octree/mark).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "octree/mark.hpp"
+#include "par/runtime.hpp"
+
+namespace {
+
+using namespace alps::octree;
+using alps::par::Comm;
+
+std::vector<double> random_eta(const LinearOctree& t, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> eta(t.leaves().size());
+  for (double& e : eta) e = dist(rng);
+  return eta;
+}
+
+class MarkRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarkRanks, HoldsElementCountNearTarget) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 4);  // 4096 elements
+    const std::vector<double> eta =
+        random_eta(t, 7u + static_cast<unsigned>(c.rank()));
+    MarkOptions opt;
+    opt.target_elements = 4096;
+    opt.tolerance = 0.05;
+    const std::vector<std::int8_t> flags = mark_elements(c, t, eta, opt);
+    const std::int64_t expected = expected_count(c, t, flags);
+    EXPECT_NEAR(static_cast<double>(expected), 4096.0, 0.10 * 4096.0);
+  });
+}
+
+TEST_P(MarkRanks, GrowsTowardLargerTarget) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 3);  // 512
+    const std::vector<double> eta =
+        random_eta(t, 11u + static_cast<unsigned>(c.rank()));
+    MarkOptions opt;
+    opt.target_elements = 2000;
+    const std::vector<std::int8_t> flags = mark_elements(c, t, eta, opt);
+    const std::int64_t expected = expected_count(c, t, flags);
+    EXPECT_GT(expected, 512);
+    EXPECT_NEAR(static_cast<double>(expected), 2000.0, 0.25 * 2000.0);
+  });
+}
+
+TEST_P(MarkRanks, RefinesHighErrorCoarsensLowError) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 3);
+    // Error = 1 on the first half of the SFC, ~0 on the second.
+    const std::int64_t off = c.exscan_sum(t.num_local());
+    const std::int64_t n = t.num_global(c);
+    std::vector<double> eta(t.leaves().size());
+    for (std::int64_t i = 0; i < t.num_local(); ++i)
+      eta[static_cast<std::size_t>(i)] = (off + i) < n / 2 ? 1.0 : 1e-9;
+    MarkOptions opt;
+    opt.target_elements = n;  // keep total roughly constant
+    const std::vector<std::int8_t> flags = mark_elements(c, t, eta, opt);
+    for (std::int64_t i = 0; i < t.num_local(); ++i) {
+      if ((off + i) < n / 2)
+        EXPECT_GE(flags[static_cast<std::size_t>(i)], 0);
+      else
+        EXPECT_LE(flags[static_cast<std::size_t>(i)], 0);
+    }
+  });
+}
+
+TEST_P(MarkRanks, RespectsLevelBounds) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 3);
+    const std::vector<double> eta =
+        random_eta(t, 13u + static_cast<unsigned>(c.rank()));
+    MarkOptions opt;
+    opt.target_elements = 10000;  // wants heavy refinement
+    opt.max_level = 3;            // but nothing may refine
+    std::vector<std::int8_t> flags = mark_elements(c, t, eta, opt);
+    for (std::int8_t f : flags) EXPECT_LE(f, 0);
+    opt.max_level = kMaxLevel;
+    opt.target_elements = 1;  // wants heavy coarsening
+    opt.min_level = 3;        // but nothing may coarsen
+    flags = mark_elements(c, t, eta, opt);
+    for (std::int8_t f : flags) EXPECT_GE(f, 0);
+  });
+}
+
+TEST_P(MarkRanks, UniformErrorStillTerminates) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 3);
+    std::vector<double> eta(t.leaves().size(), 0.5);
+    MarkOptions opt;
+    opt.target_elements = 512;
+    const std::vector<std::int8_t> flags = mark_elements(c, t, eta, opt);
+    ASSERT_EQ(flags.size(), t.leaves().size());
+  });
+}
+
+TEST_P(MarkRanks, ZeroErrorEverywhereCoarsens) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 3);
+    std::vector<double> eta(t.leaves().size(), 0.0);
+    MarkOptions opt;
+    opt.target_elements = 64;
+    const std::vector<std::int8_t> flags = mark_elements(c, t, eta, opt);
+    for (std::int8_t f : flags) EXPECT_EQ(f, -1);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MarkRanks, ::testing::Values(1, 2, 4, 6));
+
+}  // namespace

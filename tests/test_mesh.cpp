@@ -1,0 +1,250 @@
+// Tests for EXTRACTMESH: node numbering, hanging constraints, ghosts
+// (src/mesh/mesh, src/mesh/ghost).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <random>
+
+#include "mesh/fields.hpp"
+#include "mesh/mesh.hpp"
+#include "par/runtime.hpp"
+
+namespace {
+
+using namespace alps::mesh;
+using alps::forest::Connectivity;
+using alps::forest::Forest;
+using alps::octree::Adjacency;
+using alps::octree::kMaxLevel;
+using alps::octree::LinearOctree;
+using alps::par::Comm;
+
+Forest uniform_forest(Comm& c, Connectivity conn, int level) {
+  return Forest::new_uniform(c, std::move(conn), level);
+}
+
+// Refine the leaf at the domain center a few times and balance, producing
+// hanging nodes on faces and edges.
+void make_adapted(Comm& c, Forest& f, int rounds) {
+  const alps::octree::coord_t mid = alps::octree::coord_t{1}
+                                    << (kMaxLevel - 1);
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::int8_t> flags(f.tree().leaves().size(), 0);
+    for (std::size_t i = 0; i < f.tree().leaves().size(); ++i) {
+      const auto& o = f.tree().leaves()[i];
+      if (o.x == mid && o.y == mid && o.z == mid) flags[i] = 1;
+    }
+    f.tree().adapt(flags, 0, kMaxLevel);
+  }
+  f.tree().update_ranges(c);
+  f.balance(c, Adjacency::kFaceEdge);
+}
+
+class MeshRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshRanks, UniformCubeNodeCount) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    const int level = 3;
+    Forest f = uniform_forest(c, Connectivity::unit_cube(), level);
+    Mesh m = extract_mesh(c, f);
+    const std::int64_t n = (1 << level) + 1;
+    EXPECT_EQ(m.n_global, n * n * n);
+    // No hanging nodes on a uniform mesh.
+    for (const auto& ec : m.corners)
+      for (const Corner& cc : ec) {
+        EXPECT_EQ(cc.hanging, 0);
+        EXPECT_EQ(cc.n, 1);
+        EXPECT_DOUBLE_EQ(cc.w[0], 1.0);
+      }
+    // Owned dof counts sum to the global count.
+    EXPECT_EQ(c.allreduce_sum(m.n_owned), m.n_global);
+  });
+}
+
+TEST_P(MeshRanks, TwoTreeBrickSharesInterfaceNodes) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    const int level = 2;
+    Forest f = uniform_forest(c, Connectivity::brick(2, 1, 1), level);
+    Mesh m = extract_mesh(c, f);
+    const std::int64_t n = (1 << level) + 1;  // nodes per tree per axis
+    // Interface plane shared: 2*n^3 - n^2.
+    EXPECT_EQ(m.n_global, 2 * n * n * n - n * n);
+  });
+}
+
+TEST_P(MeshRanks, BoundaryMaskCountsSurfaceNodes) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    const int level = 3;
+    Forest f = uniform_forest(c, Connectivity::unit_cube(), level);
+    Mesh m = extract_mesh(c, f);
+    std::int64_t boundary_owned = 0;
+    for (std::int64_t i = 0; i < m.n_owned; ++i)
+      if (m.dof_boundary[static_cast<std::size_t>(i)] != 0) boundary_owned++;
+    const std::int64_t n = (1 << level) + 1;
+    EXPECT_EQ(c.allreduce_sum(boundary_owned), n * n * n - (n - 2) * (n - 2) * (n - 2));
+  });
+}
+
+TEST_P(MeshRanks, HangingConstraintsPartitionOfUnity) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = uniform_forest(c, Connectivity::unit_cube(), 2);
+    make_adapted(c, f, 3);
+    Mesh m = extract_mesh(c, f);
+    std::int64_t hanging = 0;
+    for (const auto& ec : m.corners)
+      for (const Corner& cc : ec) {
+        double sum = 0;
+        for (int i = 0; i < cc.n; ++i) sum += cc.w[static_cast<std::size_t>(i)];
+        EXPECT_NEAR(sum, 1.0, 1e-14);
+        if (cc.hanging) {
+          hanging++;
+          EXPECT_GE(cc.n, 2);
+          EXPECT_LE(cc.n, 4);
+        }
+      }
+    EXPECT_GT(c.allreduce_sum(hanging), 0);
+  });
+}
+
+TEST_P(MeshRanks, LinearFieldIsReproducedThroughConstraints) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = uniform_forest(c, Connectivity::unit_cube(), 2);
+    make_adapted(c, f, 2);
+    Mesh m = extract_mesh(c, f);
+    // f(x,y,z) = 1 + 2x - 3y + 0.5z at the dof coordinates.
+    std::vector<double> nodal(static_cast<std::size_t>(m.n_local));
+    for (std::size_t i = 0; i < nodal.size(); ++i) {
+      const auto& p = m.dof_coords[i];
+      nodal[i] = 1.0 + 2.0 * p[0] - 3.0 * p[1] + 0.5 * p[2];
+    }
+    const std::vector<double> ev = to_element_values(m, nodal);
+    const auto& conn = f.connectivity();
+    for (std::size_t e = 0; e < m.elements.size(); ++e) {
+      const auto xyz = m.element_corners_xyz(conn, static_cast<std::int64_t>(e));
+      for (int k = 0; k < 8; ++k) {
+        const auto& p = xyz[static_cast<std::size_t>(k)];
+        const double expect = 1.0 + 2.0 * p[0] - 3.0 * p[1] + 0.5 * p[2];
+        EXPECT_NEAR(ev[8 * e + static_cast<std::size_t>(k)], expect, 1e-12);
+      }
+    }
+  });
+}
+
+TEST_P(MeshRanks, ElementValuesAgreeAtSharedPoints) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = uniform_forest(c, Connectivity::unit_cube(), 2);
+    make_adapted(c, f, 3);
+    Mesh m = extract_mesh(c, f);
+    // Random-but-consistent nodal values: hash of the global id.
+    std::vector<double> nodal(static_cast<std::size_t>(m.n_local));
+    for (std::size_t i = 0; i < nodal.size(); ++i)
+      nodal[i] = std::sin(0.1 * static_cast<double>(m.dof_gids[i]));
+    const std::vector<double> ev = to_element_values(m, nodal);
+    // Two local elements assigning different values to the same physical
+    // corner point would break continuity.
+    std::map<std::array<long, 3>, double> seen;
+    const auto& conn = f.connectivity();
+    for (std::size_t e = 0; e < m.elements.size(); ++e) {
+      const auto xyz = m.element_corners_xyz(conn, static_cast<std::int64_t>(e));
+      for (int k = 0; k < 8; ++k) {
+        std::array<long, 3> key;
+        for (int d = 0; d < 3; ++d)
+          key[static_cast<std::size_t>(d)] = std::lround(
+              xyz[static_cast<std::size_t>(k)][static_cast<std::size_t>(d)] *
+              (1 << 20));
+        auto [it, inserted] =
+            seen.try_emplace(key, ev[8 * e + static_cast<std::size_t>(k)]);
+        if (!inserted) {
+          EXPECT_NEAR(it->second, ev[8 * e + static_cast<std::size_t>(k)], 1e-12);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(MeshRanks, ExchangeFillsGhostsWithOwnerValues) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = uniform_forest(c, Connectivity::unit_cube(), 3);
+    Mesh m = extract_mesh(c, f);
+    std::vector<double> v(static_cast<std::size_t>(m.n_local), -1.0);
+    for (std::int64_t i = 0; i < m.n_owned; ++i)
+      v[static_cast<std::size_t>(i)] = static_cast<double>(m.dof_gids[static_cast<std::size_t>(i)]);
+    m.exchange(c, v);
+    for (std::int64_t i = 0; i < m.n_local; ++i)
+      EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(i)],
+                       static_cast<double>(m.dof_gids[static_cast<std::size_t>(i)]));
+  });
+}
+
+TEST_P(MeshRanks, AccumulateSumsGhostContributions) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = uniform_forest(c, Connectivity::unit_cube(), 3);
+    Mesh m = extract_mesh(c, f);
+    // Every rank contributes 1 per local dof copy; after accumulate the
+    // owner's entry counts the number of ranks that had the dof.
+    std::vector<double> v(static_cast<std::size_t>(m.n_local), 1.0);
+    m.accumulate(c, v);
+    double total = 0;
+    for (std::int64_t i = 0; i < m.n_owned; ++i)
+      total += v[static_cast<std::size_t>(i)];
+    const double global = c.allreduce_sum(total);
+    double copies = static_cast<double>(m.n_local);
+    const double expected = c.allreduce_sum(copies);
+    EXPECT_DOUBLE_EQ(global, expected);
+  });
+}
+
+TEST_P(MeshRanks, GlobalCountIndependentOfRankCount) {
+  // Extract the same adapted mesh on different communicator sizes; the
+  // reference global dof count comes from a single-rank run.
+  static std::int64_t reference = -1;
+  alps::par::run(1, [](Comm& c) {
+    Forest f = uniform_forest(c, Connectivity::unit_cube(), 2);
+    make_adapted(c, f, 3);
+    Mesh m = extract_mesh(c, f);
+    reference = m.n_global;
+  });
+  alps::par::run(GetParam(), [](Comm& c) {
+    Forest f = uniform_forest(c, Connectivity::unit_cube(), 2);
+    make_adapted(c, f, 3);
+    Mesh m = extract_mesh(c, f);
+    EXPECT_EQ(m.n_global, reference);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshRanks, ::testing::Values(1, 2, 3, 5));
+
+TEST(MeshCanonical, UnitCubeNodesAreTheirOwnCanonicalForm) {
+  Connectivity conn = Connectivity::unit_cube();
+  const alps::octree::coord_t n = alps::octree::coord_t{1} << kMaxLevel;
+  auto [k, mask] = canonical_node(conn, NodeKey{0, 0, 0, 0});
+  EXPECT_EQ(k, (NodeKey{0, 0, 0, 0}));
+  EXPECT_EQ(mask, 0b010101);  // -x, -y, -z faces
+  auto [k2, mask2] = canonical_node(conn, NodeKey{0, n, n, n});
+  EXPECT_EQ(mask2, 0b101010);
+}
+
+TEST(MeshCanonical, BrickInterfaceNodesCanonicalizeToLowerTree) {
+  Connectivity conn = Connectivity::brick(2, 1, 1);
+  const alps::octree::coord_t n = alps::octree::coord_t{1} << kMaxLevel;
+  // Node on tree 1's -x face == tree 0's +x face.
+  auto [k, mask] = canonical_node(conn, NodeKey{1, 0, n / 2, n / 2});
+  EXPECT_EQ(k.tree, 0);
+  EXPECT_EQ(k.x, n);
+  EXPECT_EQ(k.y, n / 2);
+  EXPECT_EQ(mask, 0);  // interior interface, not physical boundary
+}
+
+TEST(MeshCanonical, CubedSphereCornersHaveThreeReps) {
+  Connectivity conn = Connectivity::cubed_sphere_shell();
+  const alps::octree::coord_t n = alps::octree::coord_t{1} << kMaxLevel;
+  // A node at a lateral edge of tree 0 (on two cap boundaries).
+  auto [k, mask] = canonical_node(conn, NodeKey{0, 0, 0, n / 2});
+  // Physically interior to the shell except radial boundaries.
+  EXPECT_EQ(mask & 0b001111, 0);
+  EXPECT_LE(k.tree, 0 + 23);
+}
+
+}  // namespace

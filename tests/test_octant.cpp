@@ -1,0 +1,140 @@
+// Tests for octant algebra and Morton encoding (src/octree/octant).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "octree/octant.hpp"
+
+namespace {
+
+using namespace alps::octree;
+
+TEST(Morton, RoundTripExhaustiveSmall) {
+  for (coord_t x = 0; x < 8; ++x)
+    for (coord_t y = 0; y < 8; ++y)
+      for (coord_t z = 0; z < 8; ++z) {
+        coord_t a, b, c;
+        morton_decode(morton_encode(x, y, z), a, b, c);
+        EXPECT_EQ(a, x);
+        EXPECT_EQ(b, y);
+        EXPECT_EQ(c, z);
+      }
+}
+
+TEST(Morton, RoundTripRandomFullRange) {
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<coord_t> dist(0, (coord_t{1} << kMaxLevel) - 1);
+  for (int i = 0; i < 10000; ++i) {
+    const coord_t x = dist(rng), y = dist(rng), z = dist(rng);
+    coord_t a, b, c;
+    morton_decode(morton_encode(x, y, z), a, b, c);
+    EXPECT_EQ(a, x);
+    EXPECT_EQ(b, y);
+    EXPECT_EQ(c, z);
+  }
+}
+
+TEST(Morton, XIsLowestBit) {
+  EXPECT_EQ(morton_encode(1, 0, 0), 1u);
+  EXPECT_EQ(morton_encode(0, 1, 0), 2u);
+  EXPECT_EQ(morton_encode(0, 0, 1), 4u);
+}
+
+TEST(Octant, ChildParentRoundTrip) {
+  Octant root{};  // level 0 at origin
+  for (int i = 0; i < 8; ++i) {
+    const Octant c = root.child(i);
+    EXPECT_EQ(c.level, 1);
+    EXPECT_EQ(c.child_id(), i);
+    EXPECT_EQ(c.parent(), root);
+  }
+}
+
+TEST(Octant, ChildrenAreMortonOrderedAndTile) {
+  Octant o{0, 0, 0, 0, 0};
+  Octant prev;
+  morton_t covered = 0;
+  for (int i = 0; i < 8; ++i) {
+    const Octant c = o.child(i);
+    if (i > 0) {
+      EXPECT_TRUE(sfc_less(prev, c));
+    }
+    covered += c.morton_last() - c.morton() + 1;
+    prev = c;
+  }
+  EXPECT_EQ(covered, octant_span(0));
+}
+
+TEST(Octant, AncestorLevels) {
+  Octant o{0, 0, 0, 0, 0};
+  Octant deep = o;
+  for (int l = 0; l < 5; ++l) deep = deep.child(l % 8);
+  EXPECT_EQ(deep.level, 5);
+  const Octant anc = deep.ancestor(2);
+  EXPECT_EQ(anc.level, 2);
+  EXPECT_TRUE(anc.is_ancestor_of(deep));
+  EXPECT_FALSE(deep.is_ancestor_of(anc));
+  EXPECT_FALSE(deep.is_ancestor_of(deep));
+}
+
+TEST(Octant, AncestorPrecedesDescendantsInSfcOrder) {
+  Octant o{0, 0, 0, 0, 3};
+  o.x = 3 * octant_len(3);
+  o.y = octant_len(3);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(sfc_less(o, o.child(i)));
+}
+
+TEST(Octant, MortonRangeNestsForDescendants) {
+  Octant o{0, 0, 0, 0, 2};
+  o.x = octant_len(2);
+  const Octant d = o.child(3).child(5);
+  EXPECT_GE(d.morton(), o.morton());
+  EXPECT_LE(d.morton_last(), o.morton_last());
+}
+
+TEST(Octant, FaceNeighborsAreAdjacent) {
+  Octant o{0, octant_len(3), octant_len(3), octant_len(3), 3};
+  Octant n;
+  ASSERT_TRUE(neighbor_inside(o, 1, n));  // +x
+  EXPECT_EQ(n.x, o.x + octant_len(3));
+  EXPECT_EQ(n.y, o.y);
+  ASSERT_TRUE(neighbor_inside(o, 4, n));  // -z
+  EXPECT_EQ(n.z, o.z - octant_len(3));
+}
+
+TEST(Octant, NeighborOutsideTreeDetected) {
+  Octant corner{0, 0, 0, 0, 4};
+  Octant n;
+  EXPECT_FALSE(neighbor_inside(corner, 0, n));   // -x out
+  EXPECT_FALSE(neighbor_inside(corner, 18, n));  // corner diag out
+  EXPECT_TRUE(neighbor_inside(corner, 1, n));    // +x in
+  // Far corner.
+  const coord_t last = (coord_t{1} << kMaxLevel) - octant_len(4);
+  Octant far{0, last, last, last, 4};
+  EXPECT_FALSE(neighbor_inside(far, 1, n));
+  EXPECT_TRUE(neighbor_inside(far, 0, n));
+}
+
+TEST(Octant, NeighborDirectionsCoverFaceEdgeCorner) {
+  // Directions 0..5 have one nonzero, 6..17 two, 18..25 three.
+  for (int d = 0; d < kNumAllDirs; ++d) {
+    int nz = 0;
+    for (int a = 0; a < 3; ++a) nz += kNeighborDirs[d][a] != 0 ? 1 : 0;
+    if (d < 6)
+      EXPECT_EQ(nz, 1) << d;
+    else if (d < 18)
+      EXPECT_EQ(nz, 2) << d;
+    else
+      EXPECT_EQ(nz, 3) << d;
+  }
+}
+
+TEST(Octant, SfcCompareOrdersByTreeFirst) {
+  Octant a{0, 500, 600, 700, 10};
+  Octant b{1, 0, 0, 0, 0};
+  EXPECT_TRUE(sfc_less(a, b));
+  EXPECT_FALSE(sfc_less(b, a));
+}
+
+}  // namespace

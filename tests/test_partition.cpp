@@ -1,0 +1,120 @@
+// Tests for SFC repartitioning with payload transfer (src/octree/partition).
+
+#include <gtest/gtest.h>
+
+#include "octree/balance.hpp"
+#include "octree/partition.hpp"
+#include "par/runtime.hpp"
+
+namespace {
+
+using namespace alps::octree;
+using alps::par::Comm;
+
+class PartRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartRanks, SkewedTreeRebalancesToIdeal) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    // Build skew: only rank 0 refines its leaves twice.
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 2);
+    for (int round = 0; round < 2; ++round) {
+      std::vector<std::int8_t> flags(
+          t.leaves().size(), static_cast<std::int8_t>(c.rank() == 0 ? 1 : 0));
+      t.adapt(flags, 0, kMaxLevel);
+    }
+    t.update_ranges(c);
+    partition(c, t);
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+    EXPECT_LE(load_imbalance(c, t), 1.0 + 1.0 / 8.0);
+    const std::int64_t n = t.num_global(c);
+    const std::int64_t ideal = n / c.size();
+    EXPECT_LE(std::abs(t.num_local() - ideal), 1);
+  });
+}
+
+TEST_P(PartRanks, PayloadsFollowTheirLeaves) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 3);
+    const std::int64_t my_offset = c.exscan_sum(t.num_local());
+    // Payload: 2 components, [global index, 2*global index].
+    LeafPayload f;
+    f.ncomp = 2;
+    for (std::int64_t i = 0; i < t.num_local(); ++i) {
+      f.data.push_back(static_cast<double>(my_offset + i));
+      f.data.push_back(2.0 * static_cast<double>(my_offset + i));
+    }
+    // Skew weights so the partition moves things around.
+    std::vector<double> w(static_cast<std::size_t>(t.num_local()));
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w[i] = 1.0 + static_cast<double>(my_offset + static_cast<std::int64_t>(i));
+    LeafPayload* fs[] = {&f};
+    partition(c, t, fs, w);
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+    const std::int64_t new_offset = c.exscan_sum(t.num_local());
+    ASSERT_EQ(static_cast<std::int64_t>(f.data.size()), 2 * t.num_local());
+    for (std::int64_t i = 0; i < t.num_local(); ++i) {
+      EXPECT_DOUBLE_EQ(f.data[static_cast<std::size_t>(2 * i)],
+                       static_cast<double>(new_offset + i));
+      EXPECT_DOUBLE_EQ(f.data[static_cast<std::size_t>(2 * i + 1)],
+                       2.0 * static_cast<double>(new_offset + i));
+    }
+  });
+}
+
+TEST_P(PartRanks, WeightedPartitionBalancesWeight) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    if (c.size() == 1) return;
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 3);
+    const std::int64_t my_offset = c.exscan_sum(t.num_local());
+    const std::int64_t n_global = t.num_global(c);
+    // First half of the curve weighs 10x the second half.
+    std::vector<double> w(static_cast<std::size_t>(t.num_local()));
+    for (std::int64_t i = 0; i < t.num_local(); ++i)
+      w[static_cast<std::size_t>(i)] = (my_offset + i) < n_global / 2 ? 10.0 : 1.0;
+    partition(c, t, {}, w);
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+    // Weight per rank should be near ideal: total = (10+1)*N/2.
+    const double total = 11.0 * static_cast<double>(n_global) / 2.0;
+    // Recompute local weight from the new distribution.
+    const std::int64_t new_offset = c.exscan_sum(t.num_local());
+    double local = 0;
+    for (std::int64_t i = 0; i < t.num_local(); ++i)
+      local += (new_offset + i) < n_global / 2 ? 10.0 : 1.0;
+    const double ideal = total / c.size();
+    EXPECT_LE(local, ideal + 10.0);  // within one heavy element
+    EXPECT_GE(local, ideal - 10.0);
+  });
+}
+
+TEST_P(PartRanks, PartitionIsIdempotent) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 2, 2);
+    partition(c, t);
+    const std::vector<Octant> first = t.leaves();
+    partition(c, t);
+    EXPECT_EQ(t.leaves(), first);
+  });
+}
+
+TEST_P(PartRanks, PartitionAfterBalanceKeepsCompleteness) {
+  alps::par::run(GetParam(), [](Comm& c) {
+    LinearOctree t = LinearOctree::new_uniform(c, 1, 1);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::int8_t> flags(t.leaves().size(), 0);
+      for (std::size_t i = 0; i < t.leaves().size(); ++i) {
+        const Octant& o = t.leaves()[i];
+        if (o.x == 0 && o.y == 0 && o.z == 0) flags[i] = 1;
+      }
+      t.adapt(flags, 0, kMaxLevel);
+    }
+    t.update_ranges(c);
+    balance(c, t);
+    partition(c, t);
+    EXPECT_TRUE(LinearOctree::globally_complete(c, t));
+    EXPECT_TRUE(is_balanced(c, t));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PartRanks, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Tests for the performance model (src/perf).
+
+#include <gtest/gtest.h>
+
+#include "perf/model.hpp"
+
+namespace {
+
+using namespace alps::perf;
+
+TEST(PerfModel, CollectiveGrowsLogarithmically) {
+  MachineModel m = MachineModel::ranger();
+  EXPECT_DOUBLE_EQ(collective_time(m, 1, 8), 0.0);
+  const double t2 = collective_time(m, 2, 8);
+  const double t1024 = collective_time(m, 1024, 8);
+  EXPECT_GT(t2, 0.0);
+  EXPECT_NEAR(t1024 / t2, 10.0, 1e-9);  // log2(1024) rounds
+}
+
+TEST(PerfModel, NeighborTimeSplitsLatencyAndBandwidth) {
+  MachineModel m = MachineModel::ranger();
+  const double lat_only = neighbor_time(m, 10, 0.0);
+  EXPECT_NEAR(lat_only, 10.0 * (m.alpha + m.sync), 1e-12);
+  const double bw = neighbor_time(m, 0, 1e6) ;
+  EXPECT_NEAR(bw, 1e6 * m.beta, 1e-12);
+}
+
+TEST(PerfModel, GhostBytesScaleAsSurface) {
+  // 8x the elements -> 4x the surface.
+  const double b1 = ghost_bytes_per_rank(1000, 8.0);
+  const double b8 = ghost_bytes_per_rank(8000, 8.0);
+  EXPECT_NEAR(b8 / b1, 4.0, 1e-9);
+}
+
+TEST(PerfModel, PhaseTimeIdealWorkSplit) {
+  MachineModel m = MachineModel::ranger();
+  m.sync = 0;  // isolate the work term
+  PhaseCost c{"w", 100.0, 0, 8, 0, 0.0};
+  EXPECT_NEAR(phase_time(m, c, 1), 100.0, 1e-12);
+  EXPECT_NEAR(phase_time(m, c, 100), 1.0, 1e-12);
+}
+
+TEST(PerfModel, CommunicationEventuallyDominates) {
+  MachineModel m = MachineModel::ranger();
+  PhaseCost c{"w", 1.0, 10, 8, 20, 1e4};
+  double prev_eff = 1.0;
+  for (std::int64_t p = 1; p <= 1 << 20; p *= 16) {
+    const double t = phase_time(m, c, p);
+    const double eff = (1.0 / static_cast<double>(p)) / t;
+    EXPECT_LE(eff, prev_eff + 1e-12);  // efficiency decays monotonically
+    prev_eff = eff;
+  }
+  EXPECT_LT(prev_eff, 0.5);  // at 1M cores latency has taken over
+}
+
+TEST(PerfModel, ContentionRampsOverNodeFill) {
+  MachineModel m = MachineModel::ranger();
+  EXPECT_DOUBLE_EQ(contention_factor(m, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(contention_factor(m, 16, 16), 1.0);  // at base: none
+  EXPECT_NEAR(contention_factor(m, 16, 1), m.node_contention, 1e-12);
+  EXPECT_NEAR(contention_factor(m, 4096, 1), m.node_contention, 1e-12);
+  // Half-filled node: halfway up the ramp.
+  EXPECT_NEAR(contention_factor(m, 4, 1),
+              1.0 + 0.5 * (m.node_contention - 1.0), 1e-12);
+}
+
+TEST(PerfModel, MeasureSecondsIsPositive) {
+  const double t = measure_seconds([] {
+    volatile double s = 0;
+    for (int i = 0; i < 100000; ++i) s = s + i;
+  });
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1.0);
+}
+
+}  // namespace
