@@ -5,6 +5,8 @@
 // prints the paper's reported values alongside for comparison.
 
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,85 @@
 #include "par/runtime.hpp"
 
 namespace bench {
+
+/// Minimal streaming JSON writer for the machine-readable BENCH_*.json
+/// result files. Callers are responsible for balanced open/close calls.
+class JsonWriter {
+ public:
+  JsonWriter& obj_open(const char* key = nullptr) { return open(key, '{'); }
+  JsonWriter& obj_close() { return close('}'); }
+  JsonWriter& arr_open(const char* key = nullptr) { return open(key, '['); }
+  JsonWriter& arr_close() { return close(']'); }
+
+  JsonWriter& field(const char* key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return raw(key, buf);
+  }
+  JsonWriter& field(const char* key, long long v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonWriter& field(const char* key, std::int64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonWriter& field(const char* key, int v) { return raw(key, std::to_string(v)); }
+  JsonWriter& field(const char* key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonWriter& field(const char* key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonWriter& field(const char* key, const std::string& v) {
+    return raw(key, '"' + v + '"');  // bench strings need no escaping
+  }
+
+  const std::string& str() const { return out_; }
+
+  void save(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("JsonWriter: cannot open " + path);
+    f << out_ << '\n';
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  JsonWriter& open(const char* key, char c) {
+    comma();
+    if (key) out_ += '"' + std::string(key) + "\": ";
+    out_ += c;
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& raw(const char* key, const std::string& v) {
+    comma();
+    out_ += '"' + std::string(key) + "\": " + v;
+    return *this;
+  }
+  void comma() {
+    if (!fresh_ && !out_.empty()) out_ += ", ";
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+/// Append the communication counters as a nested object.
+inline void json_comm_stats(JsonWriter& j, const alps::par::CommStats& s) {
+  j.obj_open("comm")
+      .field("p2p_messages", s.p2p_messages)
+      .field("p2p_bytes", s.p2p_bytes)
+      .field("allreduce_calls", s.allreduce_calls)
+      .field("allgather_calls", s.allgather_calls)
+      .field("alltoall_calls", s.alltoall_calls)
+      .field("barrier_calls", s.barrier_calls)
+      .obj_close();
+}
 
 inline void header(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");

@@ -12,7 +12,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "amg/amg.hpp"
+#include "amg/dist_amg.hpp"
 #include "fem/operators.hpp"
 #include "mesh/mesh.hpp"
 #include "par/runtime.hpp"
@@ -67,20 +67,22 @@ int main(int argc, char** argv) {
     std::vector<double> b(static_cast<std::size_t>(m.n_local), 0.0);
     op.lift_bcs(comm, g, b);
 
-    // AMG-preconditioned CG (the AMG hierarchy works on the gathered
-    // matrix; see DESIGN.md for the BoomerAMG substitution).
-    la::Csr global = op.assemble_global(comm);
-    amg::Amg amg(global, {});
-    la::LinOp pre = [&amg, &m, &comm](std::span<const double> x,
-                                      std::span<double> y) {
-      std::vector<double> owned(x.begin(),
-                                x.begin() + static_cast<std::ptrdiff_t>(m.n_owned));
-      std::vector<double> xg = comm.allgatherv(owned);
-      std::vector<double> yg(xg.size(), 0.0);
-      amg.vcycle(xg, yg);
-      for (std::int64_t i = 0; i < m.n_local; ++i)
-        y[static_cast<std::size_t>(i)] =
-            yg[static_cast<std::size_t>(m.dof_gids[static_cast<std::size_t>(i)])];
+    // AMG-preconditioned CG: the owned-row distributed assembly and the
+    // distributed hierarchy keep every rank at O(N_local) storage (see
+    // DESIGN.md §7 for the layout and the BoomerAMG substitution). Owned
+    // dofs [0, n_owned) carry gids gid_offset + i, so solver vectors are
+    // just the owned slice of a mesh field; one halo exchange refreshes
+    // the ghosts afterwards.
+    amg::DistAmg amg(comm, op.assemble_dist(comm), {});
+    std::vector<double> pb(static_cast<std::size_t>(m.n_owned));
+    std::vector<double> px(static_cast<std::size_t>(m.n_owned));
+    la::LinOp pre = [&](std::span<const double> x, std::span<double> y) {
+      std::copy(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(m.n_owned),
+                pb.begin());
+      std::fill(px.begin(), px.end(), 0.0);
+      amg.vcycle(comm, pb, px);
+      std::copy(px.begin(), px.end(), y.begin());
+      m.exchange(comm, y);
     };
     std::vector<double> x = g;
     la::KrylovOptions kopt;

@@ -5,40 +5,12 @@
 #include <queue>
 #include <stdexcept>
 
+#include "amg/classical.hpp"
+
 namespace alps::amg {
 
-namespace {
+namespace detail {
 
-/// Strength graph: strong[i] lists j such that i strongly depends on j,
-/// classical criterion -a_ij >= theta * max_k(-a_ik).
-std::vector<std::vector<std::int64_t>> strength_graph(const la::Csr& a,
-                                                      double theta) {
-  const std::int64_t n = a.rows();
-  std::vector<std::vector<std::int64_t>> strong(static_cast<std::size_t>(n));
-  const auto& rp = a.rowptr();
-  const auto& ci = a.colidx();
-  const auto& v = a.values();
-  for (std::int64_t i = 0; i < n; ++i) {
-    double maxneg = 0.0;
-    for (std::int64_t k = rp[static_cast<std::size_t>(i)];
-         k < rp[static_cast<std::size_t>(i) + 1]; ++k)
-      if (ci[static_cast<std::size_t>(k)] != i)
-        maxneg = std::max(maxneg, -v[static_cast<std::size_t>(k)]);
-    if (maxneg <= 0.0) continue;
-    const double cut = theta * maxneg;
-    for (std::int64_t k = rp[static_cast<std::size_t>(i)];
-         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
-      const std::int64_t j = ci[static_cast<std::size_t>(k)];
-      if (j != i && -v[static_cast<std::size_t>(k)] >= cut)
-        strong[static_cast<std::size_t>(i)].push_back(j);
-    }
-  }
-  return strong;
-}
-
-enum class CF : std::int8_t { kUndecided, kCoarse, kFine };
-
-/// Ruge-Stüben first-pass greedy C/F splitting.
 std::vector<CF> split_cf(const std::vector<std::vector<std::int64_t>>& strong) {
   const std::int64_t n = static_cast<std::int64_t>(strong.size());
   // Transpose: who strongly depends on i.
@@ -92,6 +64,41 @@ std::vector<CF> split_cf(const std::vector<std::vector<std::int64_t>>& strong) {
   }
   return cf;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::CF;
+
+/// Strength graph: strong[i] lists j such that i strongly depends on j,
+/// classical criterion -a_ij >= theta * max_k(-a_ik).
+std::vector<std::vector<std::int64_t>> strength_graph(const la::Csr& a,
+                                                      double theta) {
+  const std::int64_t n = a.rows();
+  std::vector<std::vector<std::int64_t>> strong(static_cast<std::size_t>(n));
+  const auto& rp = a.rowptr();
+  const auto& ci = a.colidx();
+  const auto& v = a.values();
+  for (std::int64_t i = 0; i < n; ++i) {
+    double maxneg = 0.0;
+    for (std::int64_t k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k)
+      if (ci[static_cast<std::size_t>(k)] != i)
+        maxneg = std::max(maxneg, -v[static_cast<std::size_t>(k)]);
+    if (maxneg <= 0.0) continue;
+    const double cut = theta * maxneg;
+    for (std::int64_t k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
+      const std::int64_t j = ci[static_cast<std::size_t>(k)];
+      if (j != i && -v[static_cast<std::size_t>(k)] >= cut)
+        strong[static_cast<std::size_t>(i)].push_back(j);
+    }
+  }
+  return strong;
+}
+
+using detail::split_cf;
 
 /// Direct interpolation operator (Stüben): C points inject, F points take
 /// w_ij = -alpha_i a_ij / a_ii over strong coarse neighbors, with alpha

@@ -1,0 +1,20 @@
+#pragma once
+// Internal pieces of classical Ruge-Stüben coarsening shared by the
+// replicated (amg.cpp) and distributed (dist_amg.cpp) hierarchies. The
+// distributed setup runs the same greedy splitting on each rank's owned
+// subgraph (hypre-style per-processor coarsening), so at P = 1 both
+// hierarchies coincide exactly.
+
+#include <cstdint>
+#include <vector>
+
+namespace alps::amg::detail {
+
+enum class CF : std::int8_t { kUndecided, kCoarse, kFine };
+
+/// Ruge-Stüben first-pass greedy C/F splitting over the strength graph
+/// `strong` (strong[i] = nodes i strongly depends on), followed by a
+/// second pass promoting F points without a strong C neighbor.
+std::vector<CF> split_cf(const std::vector<std::vector<std::int64_t>>& strong);
+
+}  // namespace alps::amg::detail

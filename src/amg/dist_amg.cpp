@@ -1,0 +1,291 @@
+#include "amg/dist_amg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "amg/classical.hpp"
+
+namespace alps::amg {
+
+namespace {
+
+using detail::CF;
+
+}  // namespace
+
+DistAmg::DistAmg(par::Comm& comm, la::DistCsr a, const AmgOptions& opt)
+    : opt_(opt) {
+  la::DistCsr cur = std::move(a);
+  for (int lvl = 0; lvl < opt_.max_levels; ++lvl) {
+    const std::int64_t n_global = cur.global_rows();
+    stats_.push_back(LevelStats{n_global, comm.allreduce_sum(cur.local_nnz())});
+    local_nnz_per_level_.push_back(cur.local_nnz());
+    if (n_global <= opt_.coarse_size) break;
+
+    const std::int64_t n = cur.owned_rows();
+    const la::Csr& D = cur.diag();
+    const la::Csr& O = cur.offd();
+
+    // Strength of connection over owned rows, classical criterion
+    // -a_ij >= theta * max_k(-a_ik) with ghost columns included.
+    std::vector<std::vector<std::int64_t>> strong_diag(
+        static_cast<std::size_t>(n));
+    std::vector<std::vector<std::int64_t>> strong_offd(
+        static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      double maxneg = 0.0;
+      for (std::int64_t k = D.rowptr()[static_cast<std::size_t>(i)];
+           k < D.rowptr()[static_cast<std::size_t>(i) + 1]; ++k)
+        if (D.colidx()[static_cast<std::size_t>(k)] != i)
+          maxneg = std::max(maxneg, -D.values()[static_cast<std::size_t>(k)]);
+      for (std::int64_t k = O.rowptr()[static_cast<std::size_t>(i)];
+           k < O.rowptr()[static_cast<std::size_t>(i) + 1]; ++k)
+        maxneg = std::max(maxneg, -O.values()[static_cast<std::size_t>(k)]);
+      if (maxneg <= 0.0) continue;
+      const double cut = opt_.strength_theta * maxneg;
+      for (std::int64_t k = D.rowptr()[static_cast<std::size_t>(i)];
+           k < D.rowptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+        const std::int64_t j = D.colidx()[static_cast<std::size_t>(k)];
+        if (j != i && -D.values()[static_cast<std::size_t>(k)] >= cut)
+          strong_diag[static_cast<std::size_t>(i)].push_back(j);
+      }
+      for (std::int64_t k = O.rowptr()[static_cast<std::size_t>(i)];
+           k < O.rowptr()[static_cast<std::size_t>(i) + 1]; ++k)
+        if (-O.values()[static_cast<std::size_t>(k)] >= cut)
+          strong_offd[static_cast<std::size_t>(i)].push_back(
+              O.colidx()[static_cast<std::size_t>(k)]);
+    }
+
+    // Per-processor C/F split on the owned subgraph (identical to the
+    // replicated hierarchy at P = 1).
+    const std::vector<CF> cf = detail::split_cf(strong_diag);
+
+    // Coarse numbering: owned C points are contiguous per rank.
+    std::vector<std::int64_t> cidx(static_cast<std::size_t>(n), -1);
+    std::int64_t nc = 0;
+    for (std::int64_t i = 0; i < n; ++i)
+      if (cf[static_cast<std::size_t>(i)] == CF::kCoarse)
+        cidx[static_cast<std::size_t>(i)] = nc++;
+    const std::vector<std::int64_t> nc_all = comm.allgather(nc);
+    std::vector<std::int64_t> coarse_offsets(nc_all.size() + 1, 0);
+    for (std::size_t r = 0; r < nc_all.size(); ++r)
+      coarse_offsets[r + 1] = coarse_offsets[r] + nc_all[r];
+    const std::int64_t coarse_lo =
+        coarse_offsets[static_cast<std::size_t>(comm.rank())];
+    const std::int64_t nc_global = coarse_offsets.back();
+    if (nc_global == 0 || nc_global >= n_global) break;  // no coarsening
+
+    // Ghost coarse ids (-1 for ghost F points) through the halo plan.
+    std::vector<std::int64_t> owned_cgid(static_cast<std::size_t>(n), -1);
+    for (std::int64_t i = 0; i < n; ++i)
+      if (cidx[static_cast<std::size_t>(i)] >= 0)
+        owned_cgid[static_cast<std::size_t>(i)] =
+            coarse_lo + cidx[static_cast<std::size_t>(i)];
+    std::vector<std::int64_t> ghost_cgid(cur.ghost_gids().size(), -1);
+    cur.plan().forward<std::int64_t>(comm, owned_cgid, ghost_cgid);
+
+    // Direct interpolation (Stüben): C points inject; F points take
+    // w_ij = -alpha a_ij / a_ii over strong C neighbors — owned or ghost.
+    std::vector<la::Triplet> pt;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t gid_i = cur.row_begin() + i;
+      if (cf[static_cast<std::size_t>(i)] == CF::kCoarse) {
+        pt.push_back({gid_i, coarse_lo + cidx[static_cast<std::size_t>(i)], 1.0});
+        continue;
+      }
+      double diag = 0.0, sum_all = 0.0, sum_c = 0.0;
+      std::vector<std::pair<std::int64_t, double>> cweights;
+      const auto& sd = strong_diag[static_cast<std::size_t>(i)];
+      const auto& so = strong_offd[static_cast<std::size_t>(i)];
+      for (std::int64_t k = D.rowptr()[static_cast<std::size_t>(i)];
+           k < D.rowptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+        const std::int64_t j = D.colidx()[static_cast<std::size_t>(k)];
+        const double av = D.values()[static_cast<std::size_t>(k)];
+        if (j == i) {
+          diag = av;
+          continue;
+        }
+        sum_all += av;
+        if (cf[static_cast<std::size_t>(j)] == CF::kCoarse &&
+            std::find(sd.begin(), sd.end(), j) != sd.end()) {
+          sum_c += av;
+          cweights.emplace_back(
+              coarse_lo + cidx[static_cast<std::size_t>(j)], av);
+        }
+      }
+      for (std::int64_t k = O.rowptr()[static_cast<std::size_t>(i)];
+           k < O.rowptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+        const std::int64_t g = O.colidx()[static_cast<std::size_t>(k)];
+        const double av = O.values()[static_cast<std::size_t>(k)];
+        sum_all += av;
+        if (ghost_cgid[static_cast<std::size_t>(g)] >= 0 &&
+            std::find(so.begin(), so.end(), g) != so.end()) {
+          sum_c += av;
+          cweights.emplace_back(ghost_cgid[static_cast<std::size_t>(g)], av);
+        }
+      }
+      if (cweights.empty() || diag == 0.0 || sum_c == 0.0)
+        continue;  // isolated F point: relies on smoothing only
+      const double alpha = sum_all / sum_c;
+      for (const auto& [jc, av] : cweights)
+        pt.push_back({gid_i, jc, -alpha * av / diag});
+    }
+    la::DistCsr p = la::DistCsr::from_triplets(comm, cur.row_offsets(),
+                                               coarse_offsets, std::move(pt));
+
+    // Galerkin product A_c = P^T A P from owned rows of A and P plus the
+    // interpolation rows of ghost fine points, fetched from their owners.
+    std::vector<std::int64_t> prp, pcg;
+    std::vector<double> pvv;
+    p.fetch_rows(comm, cur.ghost_gids(), prp, pcg, pvv);
+    // Iterate a locally-owned row of P with global coarse column ids.
+    const auto for_each_p_entry = [&p](std::int64_t i, auto&& fn) {
+      const la::Csr& pd = p.diag();
+      const la::Csr& po = p.offd();
+      for (std::int64_t k = pd.rowptr()[static_cast<std::size_t>(i)];
+           k < pd.rowptr()[static_cast<std::size_t>(i) + 1]; ++k)
+        fn(p.col_begin() + pd.colidx()[static_cast<std::size_t>(k)],
+           pd.values()[static_cast<std::size_t>(k)]);
+      for (std::int64_t k = po.rowptr()[static_cast<std::size_t>(i)];
+           k < po.rowptr()[static_cast<std::size_t>(i) + 1]; ++k)
+        fn(p.ghost_gids()[static_cast<std::size_t>(
+               po.colidx()[static_cast<std::size_t>(k)])],
+           po.values()[static_cast<std::size_t>(k)]);
+    };
+    std::vector<la::Triplet> act;
+    std::unordered_map<std::int64_t, double> ap;
+    for (std::int64_t i = 0; i < n; ++i) {
+      ap.clear();
+      for (std::int64_t k = D.rowptr()[static_cast<std::size_t>(i)];
+           k < D.rowptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+        const std::int64_t j = D.colidx()[static_cast<std::size_t>(k)];
+        const double av = D.values()[static_cast<std::size_t>(k)];
+        for_each_p_entry(j, [&](std::int64_t jc, double pv) { ap[jc] += av * pv; });
+      }
+      for (std::int64_t k = O.rowptr()[static_cast<std::size_t>(i)];
+           k < O.rowptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+        const std::int64_t g = O.colidx()[static_cast<std::size_t>(k)];
+        const double av = O.values()[static_cast<std::size_t>(k)];
+        for (std::int64_t kk = prp[static_cast<std::size_t>(g)];
+             kk < prp[static_cast<std::size_t>(g) + 1]; ++kk)
+          ap[pcg[static_cast<std::size_t>(kk)]] +=
+              av * pvv[static_cast<std::size_t>(kk)];
+      }
+      for_each_p_entry(i, [&](std::int64_t kc, double w) {
+        for (const auto& [jc, av] : ap) act.push_back({kc, jc, w * av});
+      });
+    }
+    la::DistCsr ac = la::DistCsr::from_triplets(comm, coarse_offsets,
+                                                coarse_offsets, std::move(act));
+    levels_.push_back(Level{std::move(cur), std::move(p), {}, {}, {}, {}});
+    cur = std::move(ac);
+  }
+
+  // Replicate the (tiny) coarsest operator for the direct solve.
+  coarse_dist_ = std::move(cur);
+  coarse_a_ = coarse_dist_.replicate(comm);
+  coarse_ = std::make_unique<la::DenseLu>(coarse_a_);
+  coarse_b_.resize(static_cast<std::size_t>(coarse_a_.rows()));
+  coarse_x_.resize(static_cast<std::size_t>(coarse_a_.rows()));
+  for (Level& L : levels_) {
+    L.res.resize(static_cast<std::size_t>(L.a.owned_rows()));
+    L.bc.resize(static_cast<std::size_t>(L.p.owned_cols()));
+    L.xc.resize(static_cast<std::size_t>(L.p.owned_cols()));
+    L.ghost.resize(L.a.plan().num_ghosts());
+  }
+}
+
+void DistAmg::hybrid_gauss_seidel(par::Comm& comm, const Level& L,
+                                  std::span<const double> b,
+                                  std::span<double> x, bool forward) const {
+  // Gauss-Seidel on the owned-column block; ghost contributions are
+  // frozen at the sweep-start halo values (Jacobi across ranks).
+  L.a.plan().forward<double>(comm, x, L.ghost);
+  const la::Csr& D = L.a.diag();
+  const la::Csr& O = L.a.offd();
+  const std::int64_t nrows = D.rows();
+  const auto update = [&](std::int64_t r) {
+    double s = b[static_cast<std::size_t>(r)];
+    double d = 1.0;
+    for (std::int64_t k = D.rowptr()[static_cast<std::size_t>(r)];
+         k < D.rowptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+      const std::int64_t c = D.colidx()[static_cast<std::size_t>(k)];
+      if (c == r)
+        d = D.values()[static_cast<std::size_t>(k)];
+      else
+        s -= D.values()[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(c)];
+    }
+    for (std::int64_t k = O.rowptr()[static_cast<std::size_t>(r)];
+         k < O.rowptr()[static_cast<std::size_t>(r) + 1]; ++k)
+      s -= O.values()[static_cast<std::size_t>(k)] *
+           L.ghost[static_cast<std::size_t>(
+               O.colidx()[static_cast<std::size_t>(k)])];
+    if (d != 0.0) x[static_cast<std::size_t>(r)] = s / d;
+  };
+  if (forward)
+    for (std::int64_t r = 0; r < nrows; ++r) update(r);
+  else
+    for (std::int64_t r = nrows - 1; r >= 0; --r) update(r);
+}
+
+void DistAmg::cycle(par::Comm& comm, std::size_t lvl,
+                    std::span<const double> b, std::span<double> x) const {
+  if (lvl == levels_.size()) {
+    // Replicated coarsest level: gather the rank-contiguous owned slices
+    // (O(coarse_size), constant in N and P) and solve with dense LU.
+    const std::vector<double> owned(
+        b.begin(),
+        b.begin() + static_cast<std::ptrdiff_t>(coarse_dist_.owned_rows()));
+    coarse_b_ = comm.allgatherv(owned);
+    coarse_->solve(coarse_b_, coarse_x_);
+    for (std::int64_t i = 0; i < coarse_dist_.owned_rows(); ++i)
+      x[static_cast<std::size_t>(i)] =
+          coarse_x_[static_cast<std::size_t>(coarse_dist_.row_begin() + i)];
+    return;
+  }
+  const Level& L = levels_[lvl];
+  for (int s = 0; s < opt_.pre_smooth; ++s)
+    hybrid_gauss_seidel(comm, L, b, x, /*forward=*/true);
+  // Residual, restriction, coarse correction.
+  L.a.matvec(comm, x, L.res);
+  for (std::size_t i = 0; i < L.res.size(); ++i) L.res[i] = b[i] - L.res[i];
+  L.p.matvec_transpose(comm, L.res, L.bc);
+  std::fill(L.xc.begin(), L.xc.end(), 0.0);
+  cycle(comm, lvl + 1, L.bc, L.xc);
+  // Prolongate (reusing the residual buffer) and correct.
+  L.p.matvec(comm, L.xc, L.res);
+  for (std::size_t i = 0; i < L.res.size(); ++i) x[i] += L.res[i];
+  for (int s = 0; s < opt_.post_smooth; ++s)
+    hybrid_gauss_seidel(comm, L, b, x, /*forward=*/false);
+}
+
+void DistAmg::vcycle(par::Comm& comm, std::span<const double> b,
+                     std::span<double> x) const {
+  cycle(comm, 0, b, x);
+}
+
+void DistAmg::solve(par::Comm& comm, std::span<const double> b,
+                    std::span<double> x, int cycles) const {
+  for (int c = 0; c < cycles; ++c) vcycle(comm, b, x);
+}
+
+std::int64_t DistAmg::local_nnz() const {
+  std::int64_t total = coarse_a_.nnz();  // replicated coarsest copy
+  for (std::int64_t nnz : local_nnz_per_level_) total += nnz;
+  return total;
+}
+
+double DistAmg::operator_complexity() const {
+  double total = 0.0;
+  for (const LevelStats& s : stats_) total += static_cast<double>(s.nnz);
+  return total / static_cast<double>(stats_.front().nnz);
+}
+
+double DistAmg::grid_complexity() const {
+  double total = 0.0;
+  for (const LevelStats& s : stats_) total += static_cast<double>(s.n);
+  return total / static_cast<double>(stats_.front().n);
+}
+
+}  // namespace alps::amg

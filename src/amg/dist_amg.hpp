@@ -1,0 +1,74 @@
+#pragma once
+// Distributed algebraic multigrid on owned-row matrices (paper Sec. III,
+// the BoomerAMG role). Setup and solve are both O(N_local) per rank:
+//
+//  - strength of connection and C/F splitting run on each rank's owned
+//    subgraph (hypre-style per-processor classical coarsening, identical
+//    to the replicated hierarchy at P = 1),
+//  - direct interpolation may pull from ghost C points, whose coarse ids
+//    arrive through the matrix's ghost-exchange plan,
+//  - the Galerkin product A_c = P^T A P is formed from owned rows plus
+//    fetched ghost rows of P, with off-owner coarse triplets routed to
+//    their owners (one alltoallv per level, setup only),
+//  - smoothing is hybrid Gauss-Seidel: Gauss-Seidel on the owned-column
+//    block, Jacobi on the ghost-column contributions (frozen at the
+//    sweep-start halo values) — the standard parallel compromise,
+//  - only the coarsest level (<= coarse_size unknowns) is replicated for
+//    the dense LU solve; its per-cycle gather is O(coarse_size).
+
+#include <memory>
+#include <vector>
+
+#include "amg/amg.hpp"
+#include "la/dist_csr.hpp"
+
+namespace alps::amg {
+
+class DistAmg {
+ public:
+  /// Setup phase; collective. Reuses AmgOptions from the replicated Amg.
+  DistAmg(par::Comm& comm, la::DistCsr a, const AmgOptions& opt = {});
+
+  /// One V-cycle on A x = b over *owned* entries (b, x: owned_rows of the
+  /// finest matrix). Collective.
+  void vcycle(par::Comm& comm, std::span<const double> b,
+              std::span<double> x) const;
+
+  /// Run `cycles` V-cycles, keeping x as the running iterate. Collective.
+  void solve(par::Comm& comm, std::span<const double> b, std::span<double> x,
+             int cycles) const;
+
+  int num_levels() const { return static_cast<int>(stats_.size()); }
+  const std::vector<LevelStats>& level_stats() const { return stats_; }
+  /// This rank's matrix storage across all levels (diag + offd blocks,
+  /// plus the replicated coarsest level).
+  std::int64_t local_nnz() const;
+  double operator_complexity() const;
+  double grid_complexity() const;
+  const la::DistCsr& finest() const { return levels_.empty() ? coarse_dist_ : levels_.front().a; }
+
+ private:
+  struct Level {
+    la::DistCsr a;
+    la::DistCsr p;  // prolongation to this level from the next-coarser one
+    // Scratch (mutable via the enclosing const methods).
+    mutable std::vector<double> res, bc, xc, ghost;
+  };
+
+  void cycle(par::Comm& comm, std::size_t lvl, std::span<const double> b,
+             std::span<double> x) const;
+  void hybrid_gauss_seidel(par::Comm& comm, const Level& L,
+                           std::span<const double> b, std::span<double> x,
+                           bool forward) const;
+
+  AmgOptions opt_;
+  std::vector<Level> levels_;
+  la::DistCsr coarse_dist_;           // distributed coarsest operator
+  la::Csr coarse_a_;                  // replicated copy for DenseLu
+  std::unique_ptr<la::DenseLu> coarse_;
+  std::vector<LevelStats> stats_;     // global n / nnz per level
+  std::vector<std::int64_t> local_nnz_per_level_;
+  mutable std::vector<double> coarse_b_, coarse_x_;  // replicated scratch
+};
+
+}  // namespace alps::amg

@@ -37,7 +37,9 @@ void ElementOperator::apply_raw(par::Comm& comm, std::span<const double> x,
                                 std::span<double> y) const {
   const std::size_t bs = block_size();
   std::fill(y.begin(), y.end(), 0.0);
-  std::vector<double> xe(bs), ye(bs);
+  work_xe_.resize(bs);
+  work_ye_.resize(bs);
+  std::span<double> xe(work_xe_), ye(work_ye_);
   for (std::size_t e = 0; e < mesh_->elements.size(); ++e) {
     gather_element(e, x, xe);
     const std::span<const double> m = element_matrix(e);
@@ -54,11 +56,13 @@ void ElementOperator::apply_raw(par::Comm& comm, std::span<const double> x,
 
 void ElementOperator::apply(par::Comm& comm, std::span<const double> x,
                             std::span<double> y) const {
-  // Zero constrained inputs, apply, then restore identity on them.
-  std::vector<double> xt(x.begin(), x.end());
-  for (std::size_t i = 0; i < xt.size(); ++i)
-    if (dirichlet_[i]) xt[i] = 0.0;
-  apply_raw(comm, xt, y);
+  // Zero constrained inputs, apply, then restore identity on them. The
+  // masked copy lives in a reused member workspace: apply runs every
+  // Krylov iteration and must not allocate.
+  work_x_.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    work_x_[i] = dirichlet_[i] ? 0.0 : x[i];
+  apply_raw(comm, work_x_, y);
   for (std::size_t i = 0; i < y.size(); ++i)
     if (dirichlet_[i]) y[i] = x[i];
 }
@@ -74,19 +78,18 @@ double ElementOperator::dot(par::Comm& comm, std::span<const double> a,
 
 void ElementOperator::lift_bcs(par::Comm& comm, std::span<const double> g,
                                std::span<double> b) const {
-  std::vector<double> ag(b.size());
-  apply_raw(comm, g, ag);
+  work_ax_.resize(b.size());
+  apply_raw(comm, g, work_ax_);
   for (std::size_t i = 0; i < b.size(); ++i) {
     if (dirichlet_[i])
       b[i] = g[i];
     else
-      b[i] -= ag[i];
+      b[i] -= work_ax_[i];
   }
 }
 
-la::Csr ElementOperator::assemble_global(par::Comm& comm) const {
+std::vector<la::Triplet> ElementOperator::local_triplets() const {
   const std::size_t nc = static_cast<std::size_t>(ncomp_);
-  const std::int64_t n = mesh_->n_global * ncomp_;
   std::vector<la::Triplet> trips;
   const std::size_t bs = block_size();
   for (std::size_t e = 0; e < mesh_->elements.size(); ++e) {
@@ -129,7 +132,23 @@ la::Csr ElementOperator::assemble_global(par::Comm& comm) const {
             static_cast<std::int64_t>(c);
         trips.push_back(la::Triplet{g, g, 1.0});
       }
-  std::vector<la::Triplet> all = comm.allgatherv(trips);
+  return trips;
+}
+
+la::DistCsr ElementOperator::assemble_dist(par::Comm& comm) const {
+  // Owned value gids are [gid_offset * ncomp, (gid_offset + n_owned) *
+  // ncomp) and rank-contiguous, so the ownership partition comes straight
+  // from an allgather of the per-rank offsets.
+  const std::vector<std::int64_t> starts = comm.allgather(
+      mesh_->gid_offset * static_cast<std::int64_t>(ncomp_));
+  std::vector<std::int64_t> offsets(starts.begin(), starts.end());
+  offsets.push_back(mesh_->n_global * ncomp_);
+  return la::DistCsr::from_triplets(comm, offsets, offsets, local_triplets());
+}
+
+la::Csr ElementOperator::assemble_global(par::Comm& comm) const {
+  const std::int64_t n = mesh_->n_global * ncomp_;
+  std::vector<la::Triplet> all = comm.allgatherv(local_triplets());
   return la::Csr::from_triplets(n, n, std::move(all));
 }
 

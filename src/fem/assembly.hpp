@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "la/csr.hpp"
+#include "la/dist_csr.hpp"
 #include "la/krylov.hpp"
 #include "mesh/mesh.hpp"
 
@@ -66,9 +67,17 @@ class ElementOperator {
   void lift_bcs(par::Comm& comm, std::span<const double> g,
                 std::span<double> b) const;
 
+  /// Assemble the owned-row distributed matrix (with identity Dirichlet
+  /// rows): off-owner triplets are routed to their owners with one
+  /// alltoallv, so per-rank storage is O(N_local). This is the solver
+  /// path's matrix — see DESIGN.md, "Distributed solver data layout".
+  /// Collective.
+  la::DistCsr assemble_dist(par::Comm& comm) const;
+
   /// Gather the fully-assembled global matrix (with identity Dirichlet
-  /// rows) on every rank — the serial-AMG substitution for BoomerAMG
-  /// documented in DESIGN.md. Collective.
+  /// rows) on every rank. O(N_global) per rank: kept only as the
+  /// replicated reference for tests and bench baselines — the solvers use
+  /// assemble_dist. Collective.
   la::Csr assemble_global(par::Comm& comm) const;
 
   /// Adapters for the Krylov drivers.
@@ -89,10 +98,15 @@ class ElementOperator {
   void scatter_element(std::size_t e, std::span<const double> ye,
                        std::span<double> y) const;
 
+  std::vector<la::Triplet> local_triplets() const;
+
   const mesh::Mesh* mesh_;
   int ncomp_;
   std::vector<double> mats_;
   std::vector<std::uint8_t> dirichlet_;
+  // Hot-path workspaces (mutable: apply/lift_bcs are logically const and
+  // run every MINRES iteration — no per-application allocations).
+  mutable std::vector<double> work_x_, work_ax_, work_xe_, work_ye_;
 };
 
 }  // namespace alps::fem

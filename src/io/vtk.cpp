@@ -33,9 +33,11 @@ void write_vtk(par::Comm& comm, const forest::Connectivity& conn,
     geo.push_back(static_cast<double>(m.elements[e].level));
     geo.push_back(static_cast<double>(comm.rank()));
   }
-  const std::vector<double> all_geo = comm.allgatherv(geo);
+  // Gather to rank 0 only: non-root ranks just ship their slice and stay
+  // at O(local) memory instead of replicating the whole mesh.
+  const std::vector<double> all_geo = comm.gatherv(geo, 0);
   std::vector<std::vector<double>> all_fields;
-  for (const VtkField& f : fields) all_fields.push_back(comm.allgatherv(f.values));
+  for (const VtkField& f : fields) all_fields.push_back(comm.gatherv(f.values, 0));
 
   if (comm.rank() != 0) return;
   const std::size_t total = all_geo.size() / 26;

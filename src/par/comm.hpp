@@ -170,6 +170,32 @@ class Comm {
     return allgatherv(std::span<const T>(local));
   }
 
+  /// Gather variable-length contributions onto `root` only (point-to-
+  /// point, concatenated in rank order); other ranks return empty. Unlike
+  /// allgatherv this keeps every rank except the root at O(local) memory.
+  template <typename T>
+  std::vector<T> gatherv(std::span<const T> local, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank_ != root) {
+      send(root, kGatherTag, local);
+      return {};
+    }
+    std::vector<T> out;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) {
+        out.insert(out.end(), local.begin(), local.end());
+      } else {
+        const std::vector<T> part = recv<T>(r, kGatherTag);
+        out.insert(out.end(), part.begin(), part.end());
+      }
+    }
+    return out;
+  }
+  template <typename T>
+  std::vector<T> gatherv(const std::vector<T>& local, int root) {
+    return gatherv(std::span<const T>(local), root);
+  }
+
   /// Reduce a single value with a binary op; result on every rank.
   template <typename T, typename Op>
   T allreduce(const T& value, Op op) {
@@ -242,6 +268,7 @@ class Comm {
 
  private:
   static constexpr int kAlltoallTag = 0x7f00;
+  static constexpr int kGatherTag = 0x7f01;
 
   void publish(const void* p, std::size_t bytes);
   void release();

@@ -23,7 +23,7 @@
 #include <functional>
 #include <memory>
 
-#include "amg/amg.hpp"
+#include "amg/dist_amg.hpp"
 #include "fem/operators.hpp"
 #include "la/krylov.hpp"
 
@@ -50,11 +50,6 @@ struct StokesTimings {
   double minres_seconds = 0.0;
 };
 
-/// Gather a distributed nodal vector (owned slices in rank order are
-/// already globally contiguous) onto every rank.
-std::vector<double> gather_global(par::Comm& comm, const Mesh& m,
-                                  std::span<const double> local);
-
 class StokesSolver {
  public:
   /// Viscosity is supplied per element per quadrature point (ne * 8).
@@ -72,7 +67,13 @@ class StokesSolver {
 
   const ElementOperator& op() const { return *op_; }
   const StokesTimings& timings() const { return timings_; }
-  const amg::Amg& velocity_amg(int comp) const { return *amg_[static_cast<std::size_t>(comp)]; }
+  const amg::DistAmg& velocity_amg(int comp) const { return *amg_[static_cast<std::size_t>(comp)]; }
+  /// This rank's matrix storage across the three velocity AMG hierarchies.
+  std::int64_t local_amg_nnz() const {
+    std::int64_t total = 0;
+    for (const auto& a : amg_) total += a->local_nnz();
+    return total;
+  }
 
   /// Buoyancy right-hand side f = Ra T e_dir (paper Eq. 2): 4*n_local
   /// vector with momentum component `dir` loaded. Collective.
@@ -90,8 +91,9 @@ class StokesSolver {
   StokesOptions opt_;
   std::unique_ptr<ElementOperator> op_;          // 4-comp saddle operator
   std::array<std::unique_ptr<ElementOperator>, 3> poisson_;
-  std::array<std::unique_ptr<amg::Amg>, 3> amg_;
+  std::array<std::unique_ptr<amg::DistAmg>, 3> amg_;  // owned-row hierarchies
   std::vector<double> schur_diag_;               // n_local, 1/eta-weighted
+  std::vector<double> comp_b_, comp_x_;          // owned-slice workspaces
   StokesTimings timings_;
 };
 
