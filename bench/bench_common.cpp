@@ -6,6 +6,39 @@
 
 namespace bench {
 
+void Reporter::snapshot_obs(const std::string& label) {
+  snaps_.push_back(Snapshot{label, alps::obs::aggregate_phases(),
+                            alps::obs::aggregate_counters()});
+}
+
+void Reporter::save(const std::string& path) {
+  j_.arr_open("obs");
+  for (const Snapshot& s : snaps_) {
+    j_.obj_open().field("label", s.label);
+    j_.arr_open("phases");
+    for (const auto& p : s.phases) {
+      j_.obj_open()
+          .field("name", p.name)
+          .field("min_s", p.min_s)
+          .field("median_s", p.median_s)
+          .field("max_s", p.max_s)
+          .field("mean_s", p.mean_s)
+          .field("total_s", p.total_s)
+          .field("imbalance", p.imbalance)
+          .field("ranks", p.ranks)
+          .obj_close();
+    }
+    j_.arr_close();
+    j_.obj_open("counters");
+    for (const auto& [name, value] : s.counters) j_.field(name.c_str(), value);
+    j_.obj_close();
+    j_.obj_close();
+  }
+  j_.arr_close();
+  j_.obj_close();
+  j_.save(path);
+}
+
 AmrRates calibrate_advection_rates(int init_level, int steps,
                                    int adapt_every) {
   AmrRates rates;

@@ -4,14 +4,17 @@
 // one table or figure of the paper (see DESIGN.md experiment index) and
 // prints the paper's reported values alongside for comparison.
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "forest/forest.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/obs.hpp"
 #include "par/runtime.hpp"
 
 namespace bench {
@@ -89,11 +92,44 @@ inline void json_comm_stats(JsonWriter& j, const alps::par::CommStats& s) {
       .field("p2p_messages", s.p2p_messages)
       .field("p2p_bytes", s.p2p_bytes)
       .field("allreduce_calls", s.allreduce_calls)
+      .field("allreduce_bytes", s.allreduce_bytes)
       .field("allgather_calls", s.allgather_calls)
+      .field("allgather_bytes", s.allgather_bytes)
       .field("alltoall_calls", s.alltoall_calls)
+      .field("alltoall_bytes", s.alltoall_bytes)
       .field("barrier_calls", s.barrier_calls)
       .obj_close();
 }
+
+/// Every bench emits its BENCH_*.json through one Reporter so all result
+/// files share a schema: the bench's own fields, plus an "obs" array of
+/// labeled snapshots (cross-rank phase breakdowns + merged counters) taken
+/// after each par::run of interest. Open the top-level object in the
+/// constructor, write bench fields through json(), snapshot after runs,
+/// and save() once at the end — save closes the object.
+class Reporter {
+ public:
+  explicit Reporter(const std::string& bench_name) {
+    j_.obj_open().field("bench", bench_name);
+  }
+
+  JsonWriter& json() { return j_; }
+
+  /// Capture the obs aggregates of the most recent par::run under `label`.
+  void snapshot_obs(const std::string& label);
+
+  /// Close the top-level object (appending the obs snapshots) and write.
+  void save(const std::string& path);
+
+ private:
+  struct Snapshot {
+    std::string label;
+    std::vector<alps::obs::PhaseBreakdown> phases;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+  };
+  JsonWriter j_;
+  std::vector<Snapshot> snaps_;
+};
 
 inline void header(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");

@@ -37,8 +37,8 @@ int main() {
       "Viscosity = temperature-dependent exp(-ln(1e5) T): 5 decades of "
       "contrast, as in the paper's mantle runs.");
 
-  bench::JsonWriter json;
-  json.obj_open().field("bench", std::string("fig2_stokes_weak"));
+  bench::Reporter report("fig2_stokes_weak");
+  bench::JsonWriter& json = report.json();
   json.arr_open("cases");
 
   std::printf("%6s %10s %10s %12s %10s %8s %10s %14s\n", "ranks", "cores(eq)",
@@ -114,10 +114,12 @@ int main() {
         .obj_close();
     bench::json_comm_stats(json, cs);
     json.obj_close();
+    report.snapshot_obs("level" + std::to_string(level) + "_p" +
+                        std::to_string(p));
   }
 
-  json.arr_close().obj_close();
-  json.save("BENCH_stokes.json");
+  json.arr_close();
+  report.save("BENCH_stokes.json");
 
   std::printf(
       "\nPaper reference (Fig. 2):\n"

@@ -21,7 +21,6 @@ int main() {
   bench::note("Machine model: " + m.name);
 
   // Real host calibration: a small convection run with one adaptation.
-  rhea::PhaseTimers timers;
   long long elements = 0;
   int steps_taken = 0;
   alps::par::run(1, [&](par::Comm& c) {
@@ -44,31 +43,60 @@ int main() {
              0.1 * std::cos(M_PI * p[0]) * std::sin(M_PI * p[2]);
     });
     sim.run(8);
-    timers = sim.timers();
     elements = sim.global_elements();
     steps_taken = sim.steps_taken();
   });
 
+  // Single source for the breakdown: the cross-rank obs phase aggregates
+  // of the run that just finished (P = 1 here, so median == the value).
+  const std::vector<obs::PhaseBreakdown> phases = obs::aggregate_phases();
+  const auto phase_total = [&phases](const char* name) {
+    for (const auto& p : phases)
+      if (p.name == name) return p.total_s;
+    return 0.0;
+  };
+  const double amg_setup = phase_total("amg.setup");
+  const double amg_apply = phase_total("amg.apply");
+  const double minres_s = phase_total("stokes.minres") - amg_apply;
+  const double assemble = phase_total("stokes.assemble");
+  const double time_integration = phase_total("energy.time_integration");
+  const double amr_total =
+      phase_total("amr.coarsen_refine") + phase_total("amr.balance") +
+      phase_total("amr.partition") + phase_total("amr.extract_mesh") +
+      phase_total("amr.interpolate_fields") +
+      phase_total("amr.transfer_fields") + phase_total("amr.mark_elements");
+
   const double steps = steps_taken;
   std::printf("\nMeasured host breakdown (%lld elements, %d steps):\n",
               elements, steps_taken);
-  std::printf("  %-22s %10.4f s/step\n", "AMG setup",
-              timers.amg_setup / steps);
-  std::printf("  %-22s %10.4f s/step\n", "AMG V-cycles",
-              timers.amg_apply / steps);
+  std::printf("  %-22s %10.4f s/step\n", "AMG setup", amg_setup / steps);
+  std::printf("  %-22s %10.4f s/step\n", "AMG V-cycles", amg_apply / steps);
   std::printf("  %-22s %10.4f s/step\n", "MINRES (matvec etc.)",
-              timers.minres / steps);
-  std::printf("  %-22s %10.4f s/step\n", "Stokes assembly",
-              timers.stokes_assemble / steps);
+              minres_s / steps);
+  std::printf("  %-22s %10.4f s/step\n", "Stokes assembly", assemble / steps);
   std::printf("  %-22s %10.4f s/step\n", "TimeIntegration",
-              timers.time_integration / steps);
+              time_integration / steps);
   std::printf("  %-22s %10.4f s/step\n", "all AMR functions",
-              timers.amr_total() / steps);
-  const double stokes = timers.amg_setup + timers.amg_apply + timers.minres +
-                        timers.stokes_assemble;
+              amr_total / steps);
+  const double stokes = amg_setup + amg_apply + minres_s + assemble;
   std::printf("  Stokes share of total: %.1f%% (paper: > 95%%)\n",
-              100.0 * stokes / (stokes + timers.time_integration +
-                                timers.amr_total()));
+              100.0 * stokes / (stokes + time_integration + amr_total));
+
+  bench::Reporter report("fig8_mantle_breakdown");
+  report.json()
+      .field("elements", elements)
+      .field("steps", steps_taken)
+      .obj_open("measured_s_per_step")
+      .field("amg_setup", amg_setup / steps)
+      .field("amg_vcycles", amg_apply / steps)
+      .field("minres", minres_s / steps)
+      .field("stokes_assemble", assemble / steps)
+      .field("time_integration", time_integration / steps)
+      .field("amr", amr_total / steps)
+      .obj_close()
+      .field("stokes_share",
+             stokes / (stokes + time_integration + amr_total));
+  report.snapshot_obs("calibration_p1");
 
   // Isogranular synthesis at 50K elements/core.
   const double npc = 50000.0;
@@ -80,29 +108,30 @@ int main() {
               "time step:\n");
   std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "cores", "AMGsetup",
               "AMGvcycle", "MINRES", "TimeInt", "AMR", "total");
+  report.json().arr_open("modeled_isogranular");
   for (std::int64_t p = 1; p <= 16384; p *= 4) {
     const double n = npc * static_cast<double>(p);
     const double levels = std::max(1.0, std::log(n / 64.0) / std::log(8.0));
     const double ghost = perf::ghost_bytes_per_rank(
         static_cast<std::int64_t>(npc), 32.0);
     // MINRES: ~60 iterations; each = 1 matvec ghost exchange + 2 dots.
-    perf::PhaseCost minres{"minres", per_elem(timers.minres) * n, 120, 8,
+    perf::PhaseCost minres{"minres", per_elem(minres_s) * n, 120, 8,
                            60 * 12, 60.0 * ghost};
     // One V-cycle per MINRES iteration and component: every level does a
     // neighbor exchange; coarse levels are latency-bound.
-    perf::PhaseCost vcyc{"vcycle", per_elem(timers.amg_apply) * n,
+    perf::PhaseCost vcyc{"vcycle", per_elem(amg_apply) * n,
                          static_cast<std::int64_t>(180 * levels), 8,
                          static_cast<std::int64_t>(180 * levels * 2),
                          180.0 * ghost * 1.5};
     // Setup (amortized per step; one setup per 16 steps in the paper):
     // coarsening handshakes are communication-heavy.
-    perf::PhaseCost setup{"setup", per_elem(timers.amg_setup) * n,
+    perf::PhaseCost setup{"setup", per_elem(amg_setup) * n,
                           static_cast<std::int64_t>(8 * levels * levels), 64,
                           static_cast<std::int64_t>(8 * levels * 4),
                           8.0 * ghost * 2.0};
-    perf::PhaseCost ti{"ti", per_elem(timers.time_integration) * n, 1, 8, 12,
+    perf::PhaseCost ti{"ti", per_elem(time_integration) * n, 1, 8, 12,
                        ghost};
-    perf::PhaseCost amr{"amr", per_elem(timers.amr_total()) * n, 4, 16, 8,
+    perf::PhaseCost amr{"amr", per_elem(amr_total) * n, 4, 16, 8,
                         npc * 16.0};
     // Coarse-grid sequentialization: AMG levels with fewer points than
     // cores cannot parallelize, and coarse operators densify (the
@@ -119,7 +148,18 @@ int main() {
     std::printf("%8lld %10.3f %10.3f %10.3f %10.3f %10.4f %10.3f\n",
                 static_cast<long long>(p), t_set, t_vc, t_mr, t_ti, t_amr,
                 t_set + t_vc + t_mr + t_ti + t_amr);
+    report.json()
+        .obj_open()
+        .field("cores", p)
+        .field("amg_setup_s", t_set)
+        .field("amg_vcycle_s", t_vc)
+        .field("minres_s", t_mr)
+        .field("time_integration_s", t_ti)
+        .field("amr_s", t_amr)
+        .obj_close();
   }
+  report.json().arr_close();
+  report.save("BENCH_fig8_breakdown.json");
   std::printf(
       "\nShape check vs paper: MINRES/time-integration/AMR columns stay "
       "nearly\nflat under isogranular scaling while the AMG setup and "

@@ -116,8 +116,8 @@ int main() {
   std::printf("%-34s %10s %10s %12s %8s %14s\n", "operator", "#dof",
               "setup(s)", "160 cyc (s)", "op-cx", "perrank-nnz");
 
-  bench::JsonWriter json;
-  json.obj_open().field("bench", std::string("fig9_amg_poisson"));
+  bench::Reporter report("fig9_amg_poisson");
+  bench::JsonWriter& json = report.json();
   json.arr_open("cases");
   bool all_pass = true;
 
@@ -205,6 +205,8 @@ int main() {
         .field("pass_lt_0p6", pass);
     bench::json_comm_stats(json, cs);
     json.obj_close();
+    report.snapshot_obs("var_visc_poisson_distributed_level" +
+                        std::to_string(level));
 
     // (b) matched-size regular-grid 7-point Laplacian (serial reference).
     const std::int64_t side = static_cast<std::int64_t>(
@@ -217,8 +219,8 @@ int main() {
     json_case(json, "laplace_7pt_replicated", level, 1, lap, lap.hier_nnz);
   }
 
-  json.arr_close().field("per_rank_nnz_criterion_pass", all_pass).obj_close();
-  json.save("BENCH_amg.json");
+  json.arr_close().field("per_rank_nnz_criterion_pass", all_pass);
+  report.save("BENCH_amg.json");
 
   std::printf(
       "\nShape check vs paper: the regular-grid Laplacian is cheaper per "

@@ -7,6 +7,8 @@
 //   5. print a summary.
 //
 // Run:  ./quickstart [ranks]
+// Set ALPS_TRACE=1 to also write a Chrome/Perfetto trace of the run
+// (quickstart_trace.json, one timeline track per rank).
 
 #include <algorithm>
 #include <cmath>
@@ -15,6 +17,7 @@
 #include "amg/dist_amg.hpp"
 #include "fem/operators.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/obs.hpp"
 #include "par/runtime.hpp"
 
 using namespace alps;
@@ -116,5 +119,11 @@ int main(int argc, char** argv) {
       std::printf("  max error vs exact solution u = x + y: %.2e\n", err);
     }
   });
+
+  const std::string trace = obs::maybe_write_trace("quickstart_trace.json");
+  if (!trace.empty())
+    std::printf("trace written to %s (open in https://ui.perfetto.dev or "
+                "chrome://tracing)\n",
+                trace.c_str());
   return 0;
 }

@@ -32,6 +32,7 @@
 
 #include "io/vtk.hpp"
 #include "mesh/fields.hpp"
+#include "obs/obs.hpp"
 #include "par/runtime.hpp"
 #include "rhea/simulation.hpp"
 
@@ -209,5 +210,12 @@ int main(int argc, char** argv) {
       std::printf("\ntimers: solve %.2fs, AMR %.3fs (%.2f%% of solve)\n",
                   solve, t.amr_total(), 100.0 * t.amr_total() / solve);
   });
+
+  // With ALPS_TRACE set, dump the per-rank span timeline of the run.
+  const std::string trace = obs::maybe_write_trace("rhea_trace.json");
+  if (!trace.empty())
+    std::printf("trace written to %s (open in https://ui.perfetto.dev or "
+                "chrome://tracing)\n",
+                trace.c_str());
   return 0;
 }

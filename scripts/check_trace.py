@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by alps::obs.
+
+Checks (exit 1 with a message on the first failure):
+  * the file parses as JSON and has a "traceEvents" list,
+  * every complete ("X") event carries name/ts/dur with dur >= 0,
+  * at least --ranks distinct tids each recorded at least one span,
+  * every --require name appears among the recorded spans,
+  * at least one properly nested span pair exists (same tid, containment),
+    i.e. the scoped-span hierarchy survived export.
+
+Usage:
+  check_trace.py TRACE.json --ranks 2 --require amg.vcycle la.cg
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--ranks", type=int, default=1,
+                    help="minimum number of rank tracks expected")
+    ap.add_argument("--require", nargs="*", default=[],
+                    help="span names that must appear in the trace")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {args.trace}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{args.trace} is not valid JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing "traceEvents" list')
+
+    spans_by_tid = defaultdict(list)
+    names = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            fail(f"event {i} is not an object with a \"ph\" field")
+        if ev["ph"] != "X":
+            continue
+        for key in ("name", "tid", "ts", "dur"):
+            if key not in ev:
+                fail(f"span event {i} is missing \"{key}\"")
+        if ev["dur"] < 0:
+            fail(f"span event {i} ({ev['name']}) has negative dur")
+        spans_by_tid[ev["tid"]].append((ev["ts"], ev["ts"] + ev["dur"]))
+        names.add(ev["name"])
+
+    populated = [tid for tid, spans in spans_by_tid.items() if spans]
+    if len(populated) < args.ranks:
+        fail(f"expected >= {args.ranks} rank tracks with spans, "
+             f"found {len(populated)} ({sorted(populated)})")
+
+    missing = [n for n in args.require if n not in names]
+    if missing:
+        fail(f"required span names not found: {missing} "
+             f"(recorded: {sorted(names)})")
+
+    nested = False
+    for spans in spans_by_tid.values():
+        spans.sort()
+        for j in range(1, len(spans)):
+            a, b = spans[j - 1], spans[j]
+            inner_in_outer = a[0] <= b[0] and b[1] <= a[1]
+            outer_in_inner = b[0] <= a[0] and a[1] <= b[1]
+            if (inner_in_outer or outer_in_inner) and a != b:
+                nested = True
+                break
+        if nested:
+            break
+    if not nested:
+        fail("no nested span pair found on any rank track")
+
+    total = sum(len(s) for s in spans_by_tid.values())
+    print(f"check_trace: OK: {total} spans on {len(populated)} rank tracks, "
+          f"{len(names)} distinct span names")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <unordered_map>
 
 #include "amg/classical.hpp"
+#include "obs/obs.hpp"
 
 namespace alps::amg {
 
@@ -16,11 +18,17 @@ using detail::CF;
 
 DistAmg::DistAmg(par::Comm& comm, la::DistCsr a, const AmgOptions& opt)
     : opt_(opt) {
+  // Trace-only span: the phase-accumulating "amg.setup" span is owned by
+  // the caller (StokesSolver), which may build several hierarchies.
+  OBS_SPAN("amg.dist_setup");
   la::DistCsr cur = std::move(a);
   for (int lvl = 0; lvl < opt_.max_levels; ++lvl) {
     const std::int64_t n_global = cur.global_rows();
     stats_.push_back(LevelStats{n_global, comm.allreduce_sum(cur.local_nnz())});
     local_nnz_per_level_.push_back(cur.local_nnz());
+    obs::counter_add(
+        obs::counter(("amg.level" + std::to_string(lvl) + ".nnz").c_str()),
+        static_cast<std::uint64_t>(cur.local_nnz()));
     if (n_global <= opt_.coarse_size) break;
 
     const std::int64_t n = cur.owned_rows();
@@ -262,6 +270,8 @@ void DistAmg::cycle(par::Comm& comm, std::size_t lvl,
 
 void DistAmg::vcycle(par::Comm& comm, std::span<const double> b,
                      std::span<double> x) const {
+  OBS_SPAN("amg.vcycle");
+  obs::counter_add(obs::wellknown::amg_vcycles(), 1);
   cycle(comm, 0, b, x);
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace alps::energy {
 
 EnergySolver::EnergySolver(par::Comm& comm, const Mesh& m,
@@ -89,6 +91,7 @@ void EnergySolver::rate(par::Comm& comm, std::span<const double> t,
 
 void EnergySolver::step(par::Comm& comm, std::span<double> temperature,
                         double dt) const {
+  OBS_SPAN("energy.step");
   const std::size_t n = temperature.size();
   std::vector<double> k1(n), tp(n), k2(n);
   rate(comm, temperature, k1);

@@ -4,6 +4,7 @@
 // neighbor transforms, mirroring the paper's P4EST layer.
 
 #include "forest/connectivity.hpp"
+#include "obs/obs.hpp"
 #include "octree/balance.hpp"
 #include "octree/linear_octree.hpp"
 #include "octree/mark.hpp"
@@ -34,6 +35,7 @@ class Forest {
 
   int balance(par::Comm& comm,
               octree::Adjacency adj = octree::Adjacency::kFaceEdge) {
+    OBS_SPAN("forest.balance");
     return octree::balance(comm, tree_, adj, conn_.neighbor_fn());
   }
   bool is_balanced(par::Comm& comm,
@@ -44,6 +46,7 @@ class Forest {
                  std::span<octree::LeafPayload*> payloads = {},
                  std::span<const double> weights = {},
                  octree::PartitionTimings* timings = nullptr) {
+    OBS_SPAN("forest.partition");
     octree::partition(comm, tree_, payloads, weights, timings);
   }
 

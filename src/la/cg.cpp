@@ -2,12 +2,14 @@
 #include <vector>
 
 #include "la/krylov.hpp"
+#include "obs/obs.hpp"
 
 namespace alps::la {
 
 SolveResult cg(const LinOp& op, std::span<const double> b,
                std::span<double> x, const LinOp& precond, const DotFn& dot,
                const KrylovOptions& opt) {
+  OBS_SPAN("la.cg");
   const std::size_t n = x.size();
   std::vector<double> r(n), z(n), p(n), ap(n);
   op(x, ap);
@@ -43,6 +45,8 @@ SolveResult cg(const LinOp& op, std::span<const double> b,
     rz = rz_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
+  obs::counter_add(obs::wellknown::cg_iterations(),
+                   static_cast<std::uint64_t>(res.iterations));
   return res;
 }
 

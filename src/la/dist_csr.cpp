@@ -112,6 +112,7 @@ DistCsr DistCsr::from_triplets(par::Comm& comm,
 
 void DistCsr::matvec(par::Comm& comm, std::span<const double> x,
                      std::span<double> y) const {
+  OBS_SPAN("la.matvec");
   // Post the halo sends, overlap with the owned-column block, then fold
   // in the ghost block once the neighbor values have arrived.
   plan_.forward_begin(comm, x);
@@ -133,6 +134,7 @@ void DistCsr::matvec(par::Comm& comm, std::span<const double> x,
 
 void DistCsr::matvec_transpose(par::Comm& comm, std::span<const double> x,
                                std::span<double> y) const {
+  OBS_SPAN("la.matvec_transpose");
   std::fill(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(owned_cols()),
             0.0);
   ghost_acc_.assign(ghost_gids_.size(), 0.0);

@@ -48,14 +48,17 @@ class GhostExchange {
   void forward_begin(par::Comm& comm, std::span<const T> owned) const {
     const int p = comm.size();
     std::vector<T> buf;
+    std::uint64_t bytes = 0;
     for (int r = 0; r < p; ++r) {
       const auto& idx = send_idx_[static_cast<std::size_t>(r)];
       if (idx.empty()) continue;
       buf.clear();
       buf.reserve(idx.size());
       for (std::int32_t i : idx) buf.push_back(owned[static_cast<std::size_t>(i)]);
+      bytes += idx.size() * sizeof(T);
       comm.send(r, kForwardTag, buf);
     }
+    obs::counter_add(obs::wellknown::ghost_exchange_bytes(), bytes);
   }
 
   /// Receive the neighbors' owned values into the local ghost slots.
@@ -87,14 +90,17 @@ class GhostExchange {
                    std::span<T> owned) const {
     const int p = comm.size();
     std::vector<T> buf;
+    std::uint64_t bytes = 0;
     for (int r = 0; r < p; ++r) {
       const auto& idx = recv_idx_[static_cast<std::size_t>(r)];
       if (idx.empty()) continue;
       buf.clear();
       buf.reserve(idx.size());
       for (std::int32_t i : idx) buf.push_back(ghosts[static_cast<std::size_t>(i)]);
+      bytes += idx.size() * sizeof(T);
       comm.send(r, kReverseTag, buf);
     }
+    obs::counter_add(obs::wellknown::ghost_exchange_bytes(), bytes);
     for (int r = 0; r < p; ++r) {
       const auto& idx = send_idx_[static_cast<std::size_t>(r)];
       if (idx.empty()) continue;

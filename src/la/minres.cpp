@@ -3,12 +3,14 @@
 #include <vector>
 
 #include "la/krylov.hpp"
+#include "obs/obs.hpp"
 
 namespace alps::la {
 
 SolveResult minres(const LinOp& op, std::span<const double> b,
                    std::span<double> x, const LinOp& precond,
                    const DotFn& dot, const KrylovOptions& opt) {
+  OBS_SPAN("la.minres");
   const std::size_t n = x.size();
   std::vector<double> v(n), v_old(n, 0.0), v_new(n), z(n), z_new(n);
   std::vector<double> w(n, 0.0), w_old(n, 0.0), w_new(n), az(n);
@@ -74,6 +76,8 @@ SolveResult minres(const LinOp& op, std::span<const double> b,
       break;
     }
   }
+  obs::counter_add(obs::wellknown::minres_iterations(),
+                   static_cast<std::uint64_t>(res.iterations));
   return res;
 }
 

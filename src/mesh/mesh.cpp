@@ -6,6 +6,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace alps::mesh {
 
 namespace {
@@ -134,6 +136,7 @@ std::pair<NodeKey, std::uint8_t> canonical_node(const Connectivity& conn,
 }
 
 Mesh extract_mesh(par::Comm& comm, const forest::Forest& forest) {
+  OBS_SPAN("mesh.extract");
   const Connectivity& conn = forest.connectivity();
   const LinearOctree& tree = forest.tree();
   const int p = comm.size();

@@ -1,0 +1,347 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace alps::obs {
+
+namespace detail {
+std::atomic<int> g_mask{-1};  // -1 = not yet initialized from ALPS_TRACE
+
+int init_mask() {
+  int m = 0;
+  if (const char* env = std::getenv("ALPS_TRACE")) {
+    const std::string v(env);
+    if (v == "comm" || v == "all" || v == "2")
+      m = 3;
+    else if (!v.empty() && v != "0")
+      m = 1;
+  }
+  // Another thread may race the first lookup; both compute the same
+  // value, so a plain store is fine.
+  g_mask.store(m, std::memory_order_relaxed);
+  return m;
+}
+}  // namespace detail
+
+void set_enabled(bool on) {
+  int m = detail::mask();
+  m = on ? (m | 1) : 0;  // disabling also turns comm spans off
+  detail::g_mask.store(m, std::memory_order_relaxed);
+}
+
+void set_comm_tracing(bool on) {
+  int m = detail::mask();
+  m = on ? (m | 3) : (m & ~2);
+  detail::g_mask.store(m, std::memory_order_relaxed);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One slot per rank. The owning rank thread is the only writer; the main
+// thread reads only after par::run joins the workers (the join provides
+// the happens-before edge, so no per-event synchronization is needed).
+struct RankSlot {
+  std::vector<SpanEvent> ring;
+  std::size_t count = 0;  // events stored (<= ring.size())
+  std::uint64_t dropped = 0;
+  std::vector<std::uint64_t> counters;
+  std::unordered_map<std::string, double> phases;
+};
+
+struct State {
+  std::vector<std::unique_ptr<RankSlot>> slots;
+  Clock::time_point epoch = Clock::now();
+  std::size_t ring_capacity = init_ring_capacity();
+  // Counter name registry (interned once, shared by all ranks).
+  std::mutex reg_mtx;
+  std::vector<std::string> counter_names;
+  std::unordered_map<std::string, CounterId> counter_ids;
+
+  static std::size_t init_ring_capacity() {
+    if (const char* env = std::getenv("ALPS_TRACE_BUF")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return 1u << 16;
+  }
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+thread_local RankSlot* tl_slot = nullptr;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           state().epoch)
+          .count());
+}
+
+RankSlot& checked_slot(int rank) {
+  State& s = state();
+  if (rank < 0 || static_cast<std::size_t>(rank) >= s.slots.size())
+    throw std::out_of_range("obs: rank out of range");
+  return *s.slots[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace
+
+void world_begin(int nranks) {
+  State& s = state();
+  s.slots.clear();
+  for (int r = 0; r < nranks; ++r) {
+    auto slot = std::make_unique<RankSlot>();
+    slot->ring.resize(s.ring_capacity);
+    s.slots.push_back(std::move(slot));
+  }
+  s.epoch = Clock::now();
+}
+
+void rank_bind(int rank) { tl_slot = &checked_slot(rank); }
+
+void rank_unbind() { tl_slot = nullptr; }
+
+int world_size() { return static_cast<int>(state().slots.size()); }
+
+std::size_t set_ring_capacity(std::size_t events_per_rank) {
+  State& s = state();
+  const std::size_t old = s.ring_capacity;
+  if (events_per_rank > 0) s.ring_capacity = events_per_rank;
+  return old;
+}
+
+// ---- spans ------------------------------------------------------------
+
+Span::Span(const char* name, Cat cat, bool accumulate_phase)
+    : name_(name), cat_(cat), phase_(accumulate_phase) {
+  if (tl_slot == nullptr) return;
+  record_ = category_enabled(cat);
+  if (record_ || phase_) t0_ = now_ns();
+}
+
+Span::~Span() {
+  RankSlot* slot = tl_slot;
+  if (slot == nullptr || !(record_ || phase_)) return;
+  const std::uint64_t t1 = now_ns();
+  if (phase_)
+    slot->phases[name_] += static_cast<double>(t1 - t0_) * 1e-9;
+  if (record_) {
+    if (slot->count < slot->ring.size())
+      slot->ring[slot->count++] = SpanEvent{name_, t0_, t1 - t0_, cat_};
+    else
+      slot->dropped++;
+  }
+}
+
+std::vector<SpanEvent> events(int rank) {
+  const RankSlot& slot = checked_slot(rank);
+  return {slot.ring.begin(),
+          slot.ring.begin() + static_cast<std::ptrdiff_t>(slot.count)};
+}
+
+std::uint64_t dropped(int rank) { return checked_slot(rank).dropped; }
+
+// ---- counters ---------------------------------------------------------
+
+CounterId counter(const char* name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.reg_mtx);
+  const auto it = s.counter_ids.find(name);
+  if (it != s.counter_ids.end()) return it->second;
+  const CounterId id = static_cast<CounterId>(s.counter_names.size());
+  s.counter_names.emplace_back(name);
+  s.counter_ids.emplace(name, id);
+  return id;
+}
+
+void counter_add(CounterId id, std::uint64_t delta) {
+  RankSlot* slot = tl_slot;
+  if (slot == nullptr) return;
+  if (slot->counters.size() <= id) slot->counters.resize(id + 1, 0);
+  slot->counters[id] += delta;
+}
+
+std::uint64_t counter_value(int rank, CounterId id) {
+  const RankSlot& slot = checked_slot(rank);
+  return id < slot.counters.size() ? slot.counters[id] : 0;
+}
+
+namespace wellknown {
+CounterId ghost_exchange_bytes() {
+  static const CounterId id = counter("ghost.exchange_bytes");
+  return id;
+}
+CounterId minres_iterations() {
+  static const CounterId id = counter("minres.iterations");
+  return id;
+}
+CounterId cg_iterations() {
+  static const CounterId id = counter("cg.iterations");
+  return id;
+}
+CounterId amg_vcycles() {
+  static const CounterId id = counter("amg.vcycles");
+  return id;
+}
+}  // namespace wellknown
+
+std::vector<std::pair<std::string, std::uint64_t>> aggregate_counters() {
+  State& s = state();
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(s.reg_mtx);
+    names = s.counter_names;
+  }
+  for (std::size_t id = 0; id < names.size(); ++id) {
+    std::uint64_t sum = 0;
+    for (const auto& slot : s.slots)
+      if (id < slot->counters.size()) sum += slot->counters[id];
+    if (sum > 0) out.emplace_back(names[id], sum);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- phases -----------------------------------------------------------
+
+void phase_add(const char* name, double seconds) {
+  RankSlot* slot = tl_slot;
+  if (slot == nullptr) return;
+  slot->phases[name] += seconds;
+}
+
+double phase_seconds(const char* name) {
+  const RankSlot* slot = tl_slot;
+  if (slot == nullptr) return 0.0;
+  const auto it = slot->phases.find(name);
+  return it == slot->phases.end() ? 0.0 : it->second;
+}
+
+double phase_seconds(int rank, const char* name) {
+  const RankSlot& slot = checked_slot(rank);
+  const auto it = slot.phases.find(name);
+  return it == slot.phases.end() ? 0.0 : it->second;
+}
+
+std::vector<PhaseBreakdown> aggregate_phases() {
+  State& s = state();
+  const int p = static_cast<int>(s.slots.size());
+  // Union of phase names, each reduced over every rank (absent = 0).
+  std::map<std::string, std::vector<double>> by_name;
+  for (const auto& slot : s.slots)
+    for (const auto& [name, secs] : slot->phases) {
+      auto& v = by_name[name];
+      v.resize(static_cast<std::size_t>(p), 0.0);
+    }
+  int r = 0;
+  for (const auto& slot : s.slots) {
+    for (auto& [name, v] : by_name) {
+      const auto it = slot->phases.find(name);
+      if (it != slot->phases.end()) v[static_cast<std::size_t>(r)] = it->second;
+    }
+    ++r;
+  }
+  std::vector<PhaseBreakdown> out;
+  out.reserve(by_name.size());
+  for (auto& [name, v] : by_name) {
+    PhaseBreakdown b;
+    b.name = name;
+    b.ranks = p;
+    std::sort(v.begin(), v.end());
+    b.min_s = v.front();
+    b.max_s = v.back();
+    const std::size_t n = v.size();
+    b.median_s = (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+    for (double x : v) b.total_s += x;
+    b.mean_s = b.total_s / static_cast<double>(n);
+    b.imbalance = b.mean_s > 0.0 ? b.max_s / b.mean_s : 1.0;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+// ---- trace export -----------------------------------------------------
+
+namespace {
+
+const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::kPhase: return "phase";
+    case Cat::kComm: return "comm";
+    case Cat::kSolver: break;
+  }
+  return "solver";
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  State& s = state();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+  for (std::size_t r = 0; r < s.slots.size(); ++r) {
+    comma();
+    out += "{\"ph\": \"M\", \"pid\": 0, \"tid\": " + std::to_string(r) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"rank " +
+           std::to_string(r) + "\"}}";
+  }
+  for (std::size_t r = 0; r < s.slots.size(); ++r) {
+    const RankSlot& slot = *s.slots[r];
+    for (std::size_t i = 0; i < slot.count; ++i) {
+      const SpanEvent& e = slot.ring[i];
+      comma();
+      out += "{\"ph\": \"X\", \"pid\": 0, \"tid\": " + std::to_string(r) +
+             ", \"name\": \"" + e.name + "\", \"cat\": \"" +
+             cat_name(e.cat) + "\", \"ts\": ";
+      append_double(out, static_cast<double>(e.start_ns) / 1000.0);
+      out += ", \"dur\": ";
+      append_double(out, static_cast<double>(e.dur_ns) / 1000.0);
+      out += "}";
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("obs: cannot open trace output " + path);
+  f << chrome_trace_json() << '\n';
+}
+
+std::string maybe_write_trace(const std::string& default_path) {
+  if (!enabled()) return {};
+  std::string path = default_path;
+  if (const char* env = std::getenv("ALPS_TRACE_OUT"))
+    if (*env != '\0') path = env;
+  write_chrome_trace(path);
+  return path;
+}
+
+}  // namespace alps::obs

@@ -1,0 +1,184 @@
+#pragma once
+// alps::obs — unified per-rank tracing and metrics (DESIGN.md §8).
+//
+// Three pieces, shared by the whole stack:
+//
+//  1. Scoped spans (OBS_SPAN / OBS_PHASE_SPAN) recorded into per-rank
+//     ring buffers. Each simulated rank (par::run thread) owns its buffer
+//     and is its only writer, so recording takes no locks; the main
+//     thread reads the buffers only after par::run has joined the rank
+//     threads. Buffers export as Chrome trace-event JSON — one track per
+//     rank — loadable in Perfetto or chrome://tracing.
+//  2. A counter registry (interned name -> small integer id, per-rank
+//     value slots) absorbing solver metrics: MINRES/CG iterations, AMG
+//     V-cycles, per-level hierarchy nnz, ghost-exchange payload bytes.
+//  3. Per-rank phase accumulators (name -> cumulative seconds) feeding a
+//     cross-rank aggregator that reduces each phase to min / median /
+//     max / mean / imbalance — the single source for the paper's
+//     Fig. 7/8/10 breakdown tables and for perf::MachineModel inputs.
+//
+// Kill switches: tracing is off unless ALPS_TRACE is set (=1 enables
+// phase + solver spans; =comm/all additionally records per-collective
+// spans) or set_enabled() is called; a disabled span is one relaxed
+// atomic load. Compiling with -DALPS_OBS_DISABLE removes the span macros
+// entirely. Phase accumulation and counters stay on regardless — they
+// replace the old hand-threaded rhea::PhaseTimers bookkeeping and cost
+// one thread-local add on paths that are never per-element hot.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alps::obs {
+
+// ---- enablement -------------------------------------------------------
+
+enum class Cat : std::uint8_t { kPhase = 0, kSolver = 1, kComm = 2 };
+
+namespace detail {
+// Bit 0: record phase/solver spans. Bit 1: record comm spans.
+// Initialized from ALPS_TRACE on first use; see ensure_init().
+extern std::atomic<int> g_mask;
+int init_mask();
+inline int mask() {
+  int m = g_mask.load(std::memory_order_relaxed);
+  return m >= 0 ? m : init_mask();
+}
+}  // namespace detail
+
+inline bool enabled() { return (detail::mask() & 1) != 0; }
+inline bool category_enabled(Cat c) {
+  const int m = detail::mask();
+  return c == Cat::kComm ? (m & 2) != 0 : (m & 1) != 0;
+}
+void set_enabled(bool on);       // overrides ALPS_TRACE
+void set_comm_tracing(bool on);  // overrides ALPS_TRACE=comm/all
+
+// ---- world / rank lifecycle (called by par::run) ----------------------
+
+/// Reset all per-rank state for a world of `nranks` and restart the
+/// trace clock. Must be called while no rank thread is running.
+void world_begin(int nranks);
+/// Bind the calling thread to rank slot `rank`; spans/counters/phases
+/// recorded by this thread go there. Unbound threads record nothing.
+void rank_bind(int rank);
+void rank_unbind();
+int world_size();
+
+/// Ring capacity (span events per rank) for subsequent world_begin calls;
+/// also settable via ALPS_TRACE_BUF. Returns the previous value.
+std::size_t set_ring_capacity(std::size_t events_per_rank);
+
+// ---- spans ------------------------------------------------------------
+
+struct SpanEvent {
+  const char* name;  // string literal or interned counter name
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  Cat cat = Cat::kSolver;
+};
+
+/// RAII scoped span. `accumulate_phase` additionally adds the elapsed
+/// seconds to this rank's phase accumulator under `name` (always, even
+/// with tracing disabled — this is what powers rhea::PhaseTimers).
+/// `name` must outlive the trace session: pass a string literal.
+class Span {
+ public:
+  explicit Span(const char* name, Cat cat = Cat::kSolver,
+                bool accumulate_phase = false);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t t0_ = 0;
+  Cat cat_;
+  bool record_ = false;  // emit a trace event on close
+  bool phase_ = false;   // add to the phase accumulator on close
+};
+
+#ifndef ALPS_OBS_DISABLE
+#define ALPS_OBS_CONCAT2(a, b) a##b
+#define ALPS_OBS_CONCAT(a, b) ALPS_OBS_CONCAT2(a, b)
+/// Trace-only scoped span (solver category).
+#define OBS_SPAN(name) \
+  ::alps::obs::Span ALPS_OBS_CONCAT(obs_span_, __LINE__)(name)
+/// Scoped span that also accumulates into the named phase.
+#define OBS_PHASE_SPAN(name)                             \
+  ::alps::obs::Span ALPS_OBS_CONCAT(obs_span_, __LINE__)( \
+      name, ::alps::obs::Cat::kPhase, true)
+/// Communication-category span (recorded only with ALPS_TRACE=comm/all).
+#define OBS_COMM_SPAN(name)                              \
+  ::alps::obs::Span ALPS_OBS_CONCAT(obs_span_, __LINE__)( \
+      name, ::alps::obs::Cat::kComm)
+#else
+#define OBS_SPAN(name) ((void)0)
+#define OBS_PHASE_SPAN(name) ((void)0)
+#define OBS_COMM_SPAN(name) ((void)0)
+#endif
+
+/// Completed span events of `rank`, in completion order. Call only after
+/// par::run has returned (the rank threads are the only writers).
+std::vector<SpanEvent> events(int rank);
+/// Events that did not fit in the ring and were dropped.
+std::uint64_t dropped(int rank);
+
+// ---- counters ---------------------------------------------------------
+
+using CounterId = std::uint32_t;
+
+/// Intern `name` into the registry (thread-safe; cache the id in a
+/// function-local static on hot paths).
+CounterId counter(const char* name);
+/// Add to this rank's slot for `id`; no-op on unbound threads.
+void counter_add(CounterId id, std::uint64_t delta);
+std::uint64_t counter_value(int rank, CounterId id);
+
+/// Pre-interned ids for the hot instrumentation sites.
+namespace wellknown {
+CounterId ghost_exchange_bytes();
+CounterId minres_iterations();
+CounterId cg_iterations();
+CounterId amg_vcycles();
+}  // namespace wellknown
+
+/// Sum each counter across all rank slots; sorted by name, zero-valued
+/// counters omitted.
+std::vector<std::pair<std::string, std::uint64_t>> aggregate_counters();
+
+// ---- phases -----------------------------------------------------------
+
+/// Add `seconds` to this rank's accumulator for `name` (no-op unbound).
+void phase_add(const char* name, double seconds);
+/// Cumulative seconds of `name` on the calling thread's rank (0 unbound).
+double phase_seconds(const char* name);
+double phase_seconds(int rank, const char* name);
+
+/// Cross-rank reduction of one phase: the Fig. 7/8/10 statistics.
+struct PhaseBreakdown {
+  std::string name;
+  double min_s = 0, median_s = 0, max_s = 0, mean_s = 0;
+  double total_s = 0;    // sum over ranks (total work)
+  double imbalance = 1;  // max / mean; 1 when the phase is balanced
+  int ranks = 0;
+};
+
+/// Reduce every recorded phase across ranks (call after par::run; ranks
+/// that never entered a phase contribute 0). Sorted by name.
+std::vector<PhaseBreakdown> aggregate_phases();
+
+// ---- trace export -----------------------------------------------------
+
+/// All ranks' spans as Chrome trace-event JSON ("X" complete events,
+/// pid 0, tid = rank, ts/dur in microseconds) plus thread-name metadata.
+std::string chrome_trace_json();
+void write_chrome_trace(const std::string& path);
+/// If tracing is enabled, write the trace to ALPS_TRACE_OUT (or
+/// `default_path` when unset) and return the path; else return "".
+std::string maybe_write_trace(const std::string& default_path);
+
+}  // namespace alps::obs

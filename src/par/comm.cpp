@@ -26,6 +26,9 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  // With ALPS_TRACE=comm this exposes receive-wait time — the per-rank
+  // imbalance signal — without touching the hot path otherwise.
+  OBS_COMM_SPAN("par.recv");
   detail::Mailbox& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
   std::unique_lock<std::mutex> lock(box.mtx);
   for (;;) {
@@ -41,6 +44,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
 }
 
 void Comm::barrier() {
+  OBS_COMM_SPAN("par.barrier");
   world_->stats_.barrier_calls++;
   world_->barrier_.arrive_and_wait();
 }

@@ -25,23 +25,36 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace alps::par {
 
-/// Live communication counters (shared, thread-safe).
+/// Live communication counters (shared, thread-safe). Calls and payload
+/// bytes are incremented once per participating rank; the *_bytes fields
+/// record the payload each rank contributes to the collective (what it
+/// would put on a network), so the perf model sees measured traffic, not
+/// just call counts. In this in-process runtime alltoallv is transported
+/// over p2p messages, so its payload also appears in p2p_bytes.
 struct AtomicCommStats {
   std::atomic<std::uint64_t> p2p_messages{0};
   std::atomic<std::uint64_t> p2p_bytes{0};
   std::atomic<std::uint64_t> allreduce_calls{0};
+  std::atomic<std::uint64_t> allreduce_bytes{0};
   std::atomic<std::uint64_t> allgather_calls{0};
+  std::atomic<std::uint64_t> allgather_bytes{0};
   std::atomic<std::uint64_t> alltoall_calls{0};
+  std::atomic<std::uint64_t> alltoall_bytes{0};
   std::atomic<std::uint64_t> barrier_calls{0};
 
   void reset() {
     p2p_messages = 0;
     p2p_bytes = 0;
     allreduce_calls = 0;
+    allreduce_bytes = 0;
     allgather_calls = 0;
+    allgather_bytes = 0;
     alltoall_calls = 0;
+    alltoall_bytes = 0;
     barrier_calls = 0;
   }
 };
@@ -51,15 +64,20 @@ struct CommStats {
   std::uint64_t p2p_messages = 0;
   std::uint64_t p2p_bytes = 0;
   std::uint64_t allreduce_calls = 0;
+  std::uint64_t allreduce_bytes = 0;
   std::uint64_t allgather_calls = 0;
+  std::uint64_t allgather_bytes = 0;
   std::uint64_t alltoall_calls = 0;
+  std::uint64_t alltoall_bytes = 0;
   std::uint64_t barrier_calls = 0;
 };
 
 inline CommStats snapshot(const AtomicCommStats& s) {
   return CommStats{s.p2p_messages.load(),    s.p2p_bytes.load(),
-                   s.allreduce_calls.load(), s.allgather_calls.load(),
-                   s.alltoall_calls.load(),  s.barrier_calls.load()};
+                   s.allreduce_calls.load(), s.allreduce_bytes.load(),
+                   s.allgather_calls.load(), s.allgather_bytes.load(),
+                   s.alltoall_calls.load(),  s.alltoall_bytes.load(),
+                   s.barrier_calls.load()};
 }
 
 namespace detail {
@@ -140,7 +158,9 @@ class Comm {
   template <typename T>
   std::vector<T> allgather(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
+    OBS_COMM_SPAN("par.allgather");
     world_->stats_.allgather_calls++;
+    world_->stats_.allgather_bytes += sizeof(T);
     publish(&value, sizeof(T));
     std::vector<T> out(size());
     for (int r = 0; r < size(); ++r)
@@ -153,7 +173,9 @@ class Comm {
   template <typename T>
   std::vector<T> allgatherv(std::span<const T> local) {
     static_assert(std::is_trivially_copyable_v<T>);
+    OBS_COMM_SPAN("par.allgatherv");
     world_->stats_.allgather_calls++;
+    world_->stats_.allgather_bytes += local.size() * sizeof(T);
     publish(local.data(), local.size() * sizeof(T));
     std::vector<T> out;
     for (int r = 0; r < size(); ++r) {
@@ -200,7 +222,9 @@ class Comm {
   template <typename T, typename Op>
   T allreduce(const T& value, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
+    OBS_COMM_SPAN("par.allreduce");
     world_->stats_.allreduce_calls++;
+    world_->stats_.allreduce_bytes += sizeof(T);
     publish(&value, sizeof(T));
     T acc;
     std::memcpy(&acc, world_->stage_[0], sizeof(T));
@@ -234,7 +258,9 @@ class Comm {
   template <typename T>
   T exscan_sum(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
+    OBS_COMM_SPAN("par.exscan");
     world_->stats_.allreduce_calls++;
+    world_->stats_.allreduce_bytes += sizeof(T);
     publish(&value, sizeof(T));
     T acc{};
     for (int r = 0; r < rank_; ++r) {
@@ -253,9 +279,14 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     if (static_cast<int>(sendbufs.size()) != size())
       throw std::runtime_error("par::Comm::alltoallv: need one buffer per rank");
+    OBS_COMM_SPAN("par.alltoallv");
     world_->stats_.alltoall_calls++;
     for (int d = 0; d < size(); ++d)
-      if (d != rank_) send(d, kAlltoallTag, sendbufs[d]);
+      if (d != rank_) {
+        world_->stats_.alltoall_bytes +=
+            sendbufs[static_cast<std::size_t>(d)].size() * sizeof(T);
+        send(d, kAlltoallTag, sendbufs[d]);
+      }
     std::vector<std::vector<T>> out(size());
     out[rank_] = sendbufs[rank_];
     for (int s = 0; s < size(); ++s)

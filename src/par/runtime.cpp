@@ -7,11 +7,16 @@ namespace alps::par {
 
 CommStats run(int nranks, const std::function<void(Comm&)>& body) {
   World world(nranks);
+  // Fresh per-rank observability slots for this world: spans, counters,
+  // and phase accumulators recorded by the rank threads stay readable
+  // (obs::events, obs::aggregate_phases, ...) until the next run.
+  obs::world_begin(nranks);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&world, &body, &errors, r] {
+      obs::rank_bind(r);
       Comm comm(world, r);
       try {
         body(comm);
@@ -22,6 +27,7 @@ CommStats run(int nranks, const std::function<void(Comm&)>& body) {
         // rank bodies are written to fail uniformly.
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
+      obs::rank_unbind();
     });
   }
   for (std::thread& t : threads) t.join();

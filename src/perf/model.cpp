@@ -1,5 +1,6 @@
 #include "perf/model.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -50,6 +51,26 @@ double phase_time(const MachineModel& m, const PhaseCost& c, std::int64_t p) {
        collective_time(m, p, c.collective_bytes);
   if (p > 1) t += neighbor_time(m, c.p2p_msgs_per_rank, c.p2p_bytes_per_rank);
   return t;
+}
+
+PhaseCost phase_cost_from_stats(const std::string& name, double work_seconds,
+                                const par::CommStats& s, int nranks) {
+  PhaseCost c;
+  c.name = name;
+  c.work_seconds = work_seconds;
+  const std::int64_t p = std::max(1, nranks);
+  // Each rank counts every collective it participates in once, so the
+  // rank-summed call counters are nranks * logical rounds.
+  const std::uint64_t coll_calls =
+      (s.allreduce_calls + s.allgather_calls + s.alltoall_calls + s.barrier_calls);
+  c.collectives = static_cast<std::int64_t>(coll_calls) / p;
+  const std::uint64_t coll_bytes =
+      s.allreduce_bytes + s.allgather_bytes + s.alltoall_bytes;
+  if (coll_calls > 0)
+    c.collective_bytes = static_cast<std::int64_t>(coll_bytes / coll_calls);
+  c.p2p_msgs_per_rank = static_cast<std::int64_t>(s.p2p_messages) / p;
+  c.p2p_bytes_per_rank = static_cast<double>(s.p2p_bytes) / static_cast<double>(p);
+  return c;
 }
 
 double measure_seconds(const std::function<void()>& fn) {

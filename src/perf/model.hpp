@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "par/comm.hpp"
+
 namespace alps::perf {
 
 struct MachineModel {
@@ -67,6 +69,15 @@ struct PhaseCost {
 /// Modeled wall-clock time of the phase on p cores (perfect work split +
 /// modeled communication).
 double phase_time(const MachineModel& m, const PhaseCost& c, std::int64_t p);
+
+/// Derive a PhaseCost from the par runtime's measured traffic: collective
+/// rounds and payloads, and per-rank p2p message/byte averages, for a run
+/// at `nranks`. Counters in CommStats are summed over ranks and each rank
+/// increments once per collective call, so calls are divided by nranks to
+/// recover logical rounds. `work_seconds` stays the caller's measurement
+/// (already in model units).
+PhaseCost phase_cost_from_stats(const std::string& name, double work_seconds,
+                                const par::CommStats& s, int nranks);
 
 /// Measure the wall-clock seconds of a callable on this host.
 double measure_seconds(const std::function<void()>& fn);

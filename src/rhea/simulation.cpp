@@ -1,8 +1,7 @@
 #include "rhea/simulation.hpp"
 
-#include <chrono>
-
 #include "mesh/fields.hpp"
+#include "obs/obs.hpp"
 #include "octree/mark.hpp"
 #include "octree/partition.hpp"
 
@@ -10,10 +9,26 @@ namespace alps::rhea {
 
 namespace {
 
-double now_s() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+/// The calling rank's obs phase accumulators under the paper's names.
+/// minres excludes the preconditioner applications nested inside it,
+/// matching the historical PhaseTimers convention.
+PhaseTimers read_phases() {
+  PhaseTimers t;
+  t.new_tree = obs::phase_seconds("amr.new_tree");
+  t.coarsen_refine = obs::phase_seconds("amr.coarsen_refine");
+  t.balance = obs::phase_seconds("amr.balance");
+  t.partition = obs::phase_seconds("amr.partition");
+  t.extract_mesh = obs::phase_seconds("amr.extract_mesh");
+  t.interpolate_fields = obs::phase_seconds("amr.interpolate_fields");
+  t.transfer_fields = obs::phase_seconds("amr.transfer_fields");
+  t.mark_elements = obs::phase_seconds("amr.mark_elements");
+  t.time_integration = obs::phase_seconds("energy.time_integration");
+  t.stokes_assemble = obs::phase_seconds("stokes.assemble");
+  t.amg_setup = obs::phase_seconds("amg.setup");
+  t.amg_apply = obs::phase_seconds("amg.apply");
+  t.minres =
+      obs::phase_seconds("stokes.minres") - obs::phase_seconds("amg.apply");
+  return t;
 }
 
 }  // namespace
@@ -21,9 +36,27 @@ double now_s() {
 Simulation::Simulation(par::Comm& comm, SimConfig cfg)
     : comm_(&comm), cfg_(std::move(cfg)),
       forest_(Forest::new_uniform(comm, cfg_.conn, 0)) {
-  const double t0 = now_s();
+  base_ = read_phases();
+  OBS_PHASE_SPAN("amr.new_tree");
   forest_ = Forest::new_uniform(comm, cfg_.conn, cfg_.init_level);
-  timers_.new_tree += now_s() - t0;
+}
+
+PhaseTimers Simulation::timers() const {
+  PhaseTimers t = read_phases();
+  t.new_tree -= base_.new_tree;
+  t.coarsen_refine -= base_.coarsen_refine;
+  t.balance -= base_.balance;
+  t.partition -= base_.partition;
+  t.extract_mesh -= base_.extract_mesh;
+  t.interpolate_fields -= base_.interpolate_fields;
+  t.transfer_fields -= base_.transfer_fields;
+  t.mark_elements -= base_.mark_elements;
+  t.time_integration -= base_.time_integration;
+  t.stokes_assemble -= base_.stokes_assemble;
+  t.amg_setup -= base_.amg_setup;
+  t.amg_apply -= base_.amg_apply;
+  t.minres -= base_.minres;
+  return t;
 }
 
 std::int64_t Simulation::global_elements() const {
@@ -73,19 +106,19 @@ void Simulation::update_velocity() {
     return;
   }
   energy_.reset();  // velocity changes invalidate the SUPG operator
-  stokes::PicardResult pr = stokes::solve_nonlinear_stokes(
-      *comm_, mesh_, forest_.connectivity(), cfg_.law, temperature_,
-      solution_, cfg_.picard);
-  timers_.stokes_assemble += pr.timings.assemble_seconds;
-  timers_.amg_setup += pr.timings.amg_setup_seconds;
-  timers_.amg_apply += pr.timings.amg_apply_seconds;
-  timers_.minres += pr.timings.minres_seconds - pr.timings.amg_apply_seconds;
+  // StokesSolver accumulates the stokes.assemble / amg.setup / amg.apply /
+  // stokes.minres obs phases itself; the PicardResult timings are only for
+  // callers outside a rank context.
+  stokes::solve_nonlinear_stokes(*comm_, mesh_, forest_.connectivity(),
+                                 cfg_.law, temperature_, solution_,
+                                 cfg_.picard);
 }
 
 void Simulation::extract_and_rebuild(std::span<const double> element_temps) {
-  double t0 = now_s();
-  mesh_ = mesh::extract_mesh(*comm_, forest_);
-  timers_.extract_mesh += now_s() - t0;
+  {
+    OBS_PHASE_SPAN("amr.extract_mesh");
+    mesh_ = mesh::extract_mesh(*comm_, forest_);
+  }
   temperature_ = mesh::from_element_values(*comm_, mesh_, element_temps);
   solution_.assign(static_cast<std::size_t>(mesh_.n_local) * 4, 0.0);
   energy_.reset();
@@ -96,37 +129,39 @@ void Simulation::adapt_once() {
   octree::LinearOctree& tree = forest_.tree();
 
   // MARKELEMENTS.
-  double t0 = now_s();
-  std::vector<double> eta;
-  if (cfg_.goal_region) {
-    eta = adjoint_indicator(*comm_, mesh_, forest_.connectivity(),
-                            temperature_, solution_, cfg_.goal_region,
-                            cfg_.energy.kappa, cfg_.adjoint_pseudo_steps);
-  } else if (cfg_.strain_weight > 0.0) {
-    eta = yielding_indicator(mesh_, forest_.connectivity(), temperature_,
-                             solution_, cfg_.strain_weight);
-  } else {
-    eta = gradient_indicator(mesh_, forest_.connectivity(), temperature_);
+  std::vector<std::int8_t> flags;
+  {
+    OBS_PHASE_SPAN("amr.mark_elements");
+    std::vector<double> eta;
+    if (cfg_.goal_region) {
+      eta = adjoint_indicator(*comm_, mesh_, forest_.connectivity(),
+                              temperature_, solution_, cfg_.goal_region,
+                              cfg_.energy.kappa, cfg_.adjoint_pseudo_steps);
+    } else if (cfg_.strain_weight > 0.0) {
+      eta = yielding_indicator(mesh_, forest_.connectivity(), temperature_,
+                               solution_, cfg_.strain_weight);
+    } else {
+      eta = gradient_indicator(mesh_, forest_.connectivity(), temperature_);
+    }
+    octree::MarkOptions mopt;
+    mopt.target_elements =
+        cfg_.target_elements > 0 ? cfg_.target_elements : global_elements();
+    mopt.tolerance = cfg_.mark_tolerance;
+    mopt.coarsen_ratio = cfg_.coarsen_ratio;
+    mopt.min_level = cfg_.min_level;
+    mopt.max_level = cfg_.max_level;
+    flags = octree::mark_elements(*comm_, tree, eta, mopt);
   }
-  octree::MarkOptions mopt;
-  mopt.target_elements =
-      cfg_.target_elements > 0 ? cfg_.target_elements : global_elements();
-  mopt.tolerance = cfg_.mark_tolerance;
-  mopt.coarsen_ratio = cfg_.coarsen_ratio;
-  mopt.min_level = cfg_.min_level;
-  mopt.max_level = cfg_.max_level;
-  const std::vector<std::int8_t> flags =
-      octree::mark_elements(*comm_, tree, eta, mopt);
-  timers_.mark_elements += now_s() - t0;
 
   // Snapshot old state and element-value field.
   std::vector<double> ev = mesh::to_element_values(mesh_, temperature_);
   const std::vector<octree::Octant> old_leaves = tree.leaves();
 
   // COARSENTREE + REFINETREE.
-  t0 = now_s();
-  tree.adapt(flags, cfg_.min_level, cfg_.max_level);
-  timers_.coarsen_refine += now_s() - t0;
+  {
+    OBS_PHASE_SPAN("amr.coarsen_refine");
+    tree.adapt(flags, cfg_.min_level, cfg_.max_level);
+  }
   const std::int64_t n_after_adapt = comm_->allreduce_sum(tree.num_local());
 
   // Fig. 5 statistics: what marking alone did (balance additions are
@@ -158,27 +193,31 @@ void Simulation::adapt_once() {
   }
 
   // BALANCETREE.
-  t0 = now_s();
-  forest_.balance(*comm_);
-  timers_.balance += now_s() - t0;
+  {
+    OBS_PHASE_SPAN("amr.balance");
+    forest_.balance(*comm_);
+  }
   stats.balance_added =
       comm_->allreduce_sum(tree.num_local()) - n_after_adapt;
 
   // INTERPOLATEFIELDS.
-  t0 = now_s();
-  const octree::Correspondence corr =
-      octree::compute_correspondence(old_leaves, tree.leaves());
-  ev = mesh::interpolate_element_values(old_leaves, tree.leaves(), corr, ev);
-  timers_.interpolate_fields += now_s() - t0;
+  {
+    OBS_PHASE_SPAN("amr.interpolate_fields");
+    const octree::Correspondence corr =
+        octree::compute_correspondence(old_leaves, tree.leaves());
+    ev = mesh::interpolate_element_values(old_leaves, tree.leaves(), corr, ev);
+  }
 
-  // PARTITIONTREE + TRANSFERFIELDS.
+  // PARTITIONTREE + TRANSFERFIELDS. octree::partition splits its own time
+  // into the two phases, so they are fed to obs as measured deltas rather
+  // than one enclosing span.
   octree::PartitionTimings pt;
   octree::LeafPayload payload{8, std::move(ev)};
   octree::LeafPayload* ps[] = {&payload};
   forest_.partition(*comm_, ps, {}, &pt);
   ev = std::move(payload.data);
-  timers_.partition += pt.partition_seconds;
-  timers_.transfer_fields += pt.transfer_seconds;
+  obs::phase_add("amr.partition", pt.partition_seconds);
+  obs::phase_add("amr.transfer_fields", pt.transfer_seconds);
 
   // EXTRACTMESH + nodal rebuild.
   extract_and_rebuild(ev);
@@ -205,7 +244,7 @@ void Simulation::run(int steps) {
       update_velocity();  // analytic refresh for time-dependent fields
     }
 
-    const double t0 = now_s();
+    OBS_PHASE_SPAN("energy.time_integration");
     if (!energy_)
       energy_ = std::make_unique<energy::EnergySolver>(
           *comm_, mesh_, forest_.connectivity(), solution_, cfg_.energy);
@@ -213,7 +252,6 @@ void Simulation::run(int steps) {
     energy_->step(*comm_, temperature_, dt);
     time_ += dt;
     steps_++;
-    timers_.time_integration += now_s() - t0;
   }
 }
 

@@ -19,7 +19,11 @@ using forest::Connectivity;
 using forest::Forest;
 using mesh::Mesh;
 
-/// Cumulative wall-clock seconds per phase (paper terminology).
+/// Cumulative wall-clock seconds per phase (paper terminology). Since the
+/// obs migration this is a *view*: Simulation::timers() materializes it
+/// from the per-rank obs phase accumulators (obs::phase_seconds), minus a
+/// snapshot taken at construction so several Simulations per rank body
+/// don't bleed into each other.
 struct PhaseTimers {
   double new_tree = 0, coarsen_refine = 0, balance = 0, partition = 0,
          extract_mesh = 0, interpolate_fields = 0, transfer_fields = 0,
@@ -98,7 +102,9 @@ class Simulation {
   const std::vector<double>& solution() const { return solution_; }
   double time() const { return time_; }
   int steps_taken() const { return steps_; }
-  PhaseTimers& timers() { return timers_; }
+  /// This simulation's per-phase seconds on the calling rank, read from
+  /// the obs phase accumulators. Call from inside the par::run rank body.
+  PhaseTimers timers() const;
   const std::vector<AdaptationStats>& adapt_history() const {
     return adapt_history_;
   }
@@ -119,7 +125,7 @@ class Simulation {
   std::vector<double> solution_;     // 4-comp velocity+pressure
   double time_ = 0.0;
   int steps_ = 0;
-  PhaseTimers timers_;
+  PhaseTimers base_;  // obs phase accumulators at construction time
   std::vector<AdaptationStats> adapt_history_;
   // Cached SUPG operator; invalidated when the mesh or velocity changes.
   std::unique_ptr<energy::EnergySolver> energy_;

@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
+
+#include "obs/obs.hpp"
 
 namespace alps::stokes {
 
@@ -31,6 +34,12 @@ StokesSolver::StokesSolver(par::Comm& comm, const Mesh& m,
                            std::span<const double> eta_quad,
                            const StokesOptions& opt)
     : mesh_(&m), opt_(opt) {
+  // The StokesTimings bookkeeping stays (Picard accumulates it); the obs
+  // phase spans are the cross-rank source for the breakdown tables. An
+  // optional span lets assemble and amg.setup own disjoint windows
+  // without nesting (nesting would double-count the phase seconds).
+  std::optional<obs::Span> phase_span;
+  phase_span.emplace("stokes.assemble", obs::Cat::kPhase, true);
   const std::size_t ne = m.elements.size();
   double t0 = now_seconds();
 
@@ -109,7 +118,9 @@ StokesSolver::StokesSolver(par::Comm& comm, const Mesh& m,
     }
   }
   timings_.assemble_seconds = now_seconds() - t0;
+  phase_span.reset();
 
+  phase_span.emplace("amg.setup", obs::Cat::kPhase, true);
   t0 = now_seconds();
   for (int c = 0; c < 3; ++c) {
     // Owned-row distributed assembly + distributed hierarchy: per-rank
@@ -126,6 +137,7 @@ StokesSolver::StokesSolver(par::Comm& comm, const Mesh& m,
 void StokesSolver::apply_preconditioner(par::Comm& comm,
                                         std::span<const double> x,
                                         std::span<double> y) {
+  OBS_PHASE_SPAN("amg.apply");
   const double t0 = now_seconds();
   const Mesh& m = *mesh_;
   const std::size_t no = static_cast<std::size_t>(m.n_owned);
@@ -151,6 +163,7 @@ void StokesSolver::apply_preconditioner(par::Comm& comm,
 la::SolveResult StokesSolver::solve(par::Comm& comm,
                                     std::span<const double> rhs,
                                     std::span<double> x) {
+  OBS_PHASE_SPAN("stokes.minres");
   const double t0 = now_seconds();
   la::LinOp aop = op_->as_linop(comm);
   la::LinOp pre = [this, &comm](std::span<const double> in,

@@ -122,6 +122,34 @@ TEST(ParStats, CountsPointToPointTraffic) {
   EXPECT_EQ(s.barrier_calls, 2u);
 }
 
+TEST(ParStats, CountsCollectivePayloadBytes) {
+  // Byte counters record the payload each rank contributes, summed over
+  // ranks, alongside the per-rank call counters.
+  CommStats s = alps::par::run(2, [](Comm& c) {
+    c.allreduce_sum(1.0);                       // 8 bytes per rank
+    c.allgather(42);                            // 4 bytes per rank
+    std::vector<std::vector<int>> send(2);
+    send[static_cast<std::size_t>(1 - c.rank())] = {7, 8};  // 8 bytes to peer
+    c.alltoallv(send);
+  });
+  EXPECT_EQ(s.allreduce_calls, 2u);
+  EXPECT_EQ(s.allreduce_bytes, 16u);
+  EXPECT_EQ(s.allgather_calls, 2u);
+  EXPECT_EQ(s.allgather_bytes, 8u);
+  EXPECT_EQ(s.alltoall_calls, 2u);
+  EXPECT_EQ(s.alltoall_bytes, 16u);
+}
+
+TEST(ParStats, ExscanAndAllgathervCountPayloadBytes) {
+  CommStats s = alps::par::run(2, [](Comm& c) {
+    c.exscan_sum(static_cast<std::int64_t>(c.rank()));  // 8 bytes per rank
+    std::vector<double> mine(static_cast<std::size_t>(c.rank() + 1), 1.0);
+    c.allgatherv(mine);  // 8 and 16 bytes
+  });
+  EXPECT_EQ(s.allreduce_bytes, 16u);   // exscan counts under allreduce
+  EXPECT_EQ(s.allgather_bytes, 24u);
+}
+
 TEST(ParRun, PropagatesUniformExceptions) {
   EXPECT_THROW(alps::par::run(3,
                               [](Comm&) {

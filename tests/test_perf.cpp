@@ -64,6 +64,30 @@ TEST(PerfModel, ContentionRampsOverNodeFill) {
               1.0 + 0.5 * (m.node_contention - 1.0), 1e-12);
 }
 
+TEST(PerfModel, PhaseCostFromStatsDividesByRanks) {
+  alps::par::CommStats s{};
+  s.p2p_messages = 40;       // 10 per rank at P = 4
+  s.p2p_bytes = 4000;        // 1000 per rank
+  s.allreduce_calls = 8;     // 2 logical rounds at P = 4
+  s.allreduce_bytes = 64;    // 8 bytes per call
+  s.allgather_calls = 4;     // 1 logical round
+  s.allgather_bytes = 48;    // 12 bytes per call
+  const PhaseCost c = phase_cost_from_stats("phase", 2.5, s, 4);
+  EXPECT_EQ(c.name, "phase");
+  EXPECT_DOUBLE_EQ(c.work_seconds, 2.5);
+  EXPECT_EQ(c.collectives, 3);  // (8 + 4) / 4
+  EXPECT_EQ(c.collective_bytes, (64 + 48) / 12);
+  EXPECT_EQ(c.p2p_msgs_per_rank, 10);
+  EXPECT_DOUBLE_EQ(c.p2p_bytes_per_rank, 1000.0);
+}
+
+TEST(PerfModel, PhaseCostFromStatsHandlesNoCollectives) {
+  alps::par::CommStats s{};
+  const PhaseCost c = phase_cost_from_stats("quiet", 1.0, s, 2);
+  EXPECT_EQ(c.collectives, 0);
+  EXPECT_EQ(c.collective_bytes, 8);  // keeps the PhaseCost default
+}
+
 TEST(PerfModel, MeasureSecondsIsPositive) {
   const double t = measure_seconds([] {
     volatile double s = 0;
