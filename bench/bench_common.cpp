@@ -1,10 +1,47 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <ctime>
 
 #include "rhea/simulation.hpp"
 
 namespace bench {
+
+namespace {
+
+std::string bench_date() {
+  // ALPS_BENCH_DATE pins the stamp for byte-reproducible CI artifacts.
+  if (const char* env = std::getenv("ALPS_BENCH_DATE"))
+    if (*env != '\0') return env;
+  const std::time_t now = std::time(nullptr);
+  char buf[32];
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+#ifndef ALPS_GIT_SHA
+#define ALPS_GIT_SHA "unknown"
+#endif
+#ifndef ALPS_BUILD_TYPE
+#define ALPS_BUILD_TYPE "unknown"
+#endif
+
+Reporter::Reporter(const std::string& bench_name, int ranks,
+                   std::int64_t problem_size) {
+  j_.obj_open().field("bench", bench_name);
+  j_.obj_open("meta")
+      .field("git_sha", std::string(ALPS_GIT_SHA))
+      .field("build_type", std::string(ALPS_BUILD_TYPE))
+      .field("date", bench_date());
+  if (ranks > 0) j_.field("ranks", ranks);
+  if (problem_size > 0) j_.field("problem_size", problem_size);
+  j_.obj_close();
+}
 
 void Reporter::snapshot_obs(const std::string& label) {
   snaps_.push_back(Snapshot{label, alps::obs::aggregate_phases(),

@@ -109,9 +109,13 @@ inline void json_comm_stats(JsonWriter& j, const alps::par::CommStats& s) {
 /// and save() once at the end — save closes the object.
 class Reporter {
  public:
-  explicit Reporter(const std::string& bench_name) {
-    j_.obj_open().field("bench", bench_name);
-  }
+  /// Opens the top-level object and embeds a "meta" block (git SHA and
+  /// build type captured at configure time, wall-clock date — overridable
+  /// via ALPS_BENCH_DATE for reproducible CI artifacts — plus ranks /
+  /// problem_size when the bench passes them) so every BENCH_*.json is
+  /// attributable to the build that produced it.
+  explicit Reporter(const std::string& bench_name, int ranks = 0,
+                    std::int64_t problem_size = 0);
 
   JsonWriter& json() { return j_; }
 

@@ -82,7 +82,8 @@ int main() {
   std::printf("  Stokes share of total: %.1f%% (paper: > 95%%)\n",
               100.0 * stokes / (stokes + time_integration + amr_total));
 
-  bench::Reporter report("fig8_mantle_breakdown");
+  bench::Reporter report("fig8_mantle_breakdown", /*ranks=*/1,
+                         /*problem_size=*/elements);
   report.json()
       .field("elements", elements)
       .field("steps", steps_taken)

@@ -22,6 +22,13 @@
 //   minres_rtol (1e-5)
 //   minres_maxit (150)
 //   vtk_prefix ()           when set, write <prefix>_<n>.vtk per adaptation
+//   sentinels (1)           NaN/Inf field checks after every step
+//   nan_inject_step (-1)    test hook: poison the temperature at this step
+//
+// Observability: ALPS_TELEMETRY=1 streams one JSONL record per time step
+// to ALPS_TELEMETRY_OUT (default alps_telemetry.jsonl). If the sentinels
+// trip (or nan_inject_step fires), a flight-recorder bundle is written to
+// ALPS_DUMP_DIR and the driver exits with code 3.
 
 #include <cmath>
 #include <cstdio>
@@ -32,7 +39,9 @@
 
 #include "io/vtk.hpp"
 #include "mesh/fields.hpp"
+#include "obs/dump.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "par/runtime.hpp"
 #include "rhea/simulation.hpp"
 
@@ -103,6 +112,8 @@ strain_weight = 0.5
 picard_iterations = 2
 minres_rtol = 1e-5
 minres_maxit = 150
+sentinels = 1
+# nan_inject_step = -1
 # vtk_prefix = rhea_out
 )";
 
@@ -136,6 +147,7 @@ int main(int argc, char** argv) {
   const int steps = std::max(1, cfg.integer("steps", 6));
   std::printf("RHEA driver: %d ranks, %d steps\n", ranks, steps);
 
+  try {
   alps::par::run(ranks, [&cfg, steps](par::Comm& comm) {
     rhea::SimConfig sim_cfg;
     sim_cfg.conn = forest::Connectivity::brick(cfg.integer("bricks_x", 8),
@@ -153,6 +165,8 @@ int main(int argc, char** argv) {
     sim_cfg.picard.stokes.krylov.rtol = cfg.num("minres_rtol", 1e-5);
     sim_cfg.picard.stokes.krylov.max_iterations =
         cfg.integer("minres_maxit", 150);
+    sim_cfg.sentinels = cfg.integer("sentinels", 1) != 0;
+    sim_cfg.nan_inject_step = cfg.integer("nan_inject_step", -1);
     const double sigma_y = cfg.num("sigma_y", 1.0);
     if (sigma_y > 0) {
       rhea::YieldingLawOptions yopt;
@@ -210,6 +224,14 @@ int main(int argc, char** argv) {
       std::printf("\ntimers: solve %.2fs, AMR %.3fs (%.2f%% of solve)\n",
                   solve, t.amr_total(), 100.0 * t.amr_total() / solve);
   });
+  } catch (const rhea::SentinelError& e) {
+    // The flight-recorder bundle was written before the throw; report the
+    // structured failure and exit distinctly so CI can assert on it.
+    std::fprintf(stderr, "rhea: SENTINEL TRIP: %s\n", e.what());
+    std::fprintf(stderr, "rhea: flight-recorder bundle in %s\n",
+                 obs::dump_dir().c_str());
+    return 3;
+  }
 
   // With ALPS_TRACE set, dump the per-rank span timeline of the run.
   const std::string trace = obs::maybe_write_trace("rhea_trace.json");
@@ -217,5 +239,9 @@ int main(int argc, char** argv) {
     std::printf("trace written to %s (open in https://ui.perfetto.dev or "
                 "chrome://tracing)\n",
                 trace.c_str());
+  if (obs::telemetry_enabled())
+    std::printf("telemetry: %llu records in %s\n",
+                static_cast<unsigned long long>(obs::telemetry_records()),
+                obs::telemetry_path().c_str());
   return 0;
 }

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate an alps telemetry JSONL stream and/or a flight-recorder bundle.
+
+JSONL mode (default):
+  * every line parses as a JSON object,
+  * required keys are present with finite numeric values
+    (step, time, dt, elements, dofs, partition_imbalance,
+    nusselt, v_rms, t_min, t_max, t_mean),
+  * "step" is strictly increasing, "time" non-decreasing, "dt" > 0,
+  * "per_level" is a list of non-negative ints summing to "elements",
+  * optional: --min-records N requires at least N records.
+
+Bundle mode (--dump-dir DIR): the flight-recorder layout written by
+obs::panic_dump is present and parses — reason.txt (non-empty),
+trace.json / counters.json / phases.json / residuals.json (valid JSON),
+telemetry_tail.jsonl (every line a JSON object).
+
+Usage:
+  check_telemetry.py rhea_telemetry.jsonl --min-records 4
+  check_telemetry.py --dump-dir alps_dump
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+REQUIRED = [
+    "step", "time", "dt", "elements", "dofs", "partition_imbalance",
+    "nusselt", "v_rms", "t_min", "t_max", "t_mean",
+]
+
+
+def fail(msg: str) -> None:
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_jsonl(path: str, min_records: int) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+
+    if len(lines) < min_records:
+        fail(f"{path}: expected >= {min_records} records, found {len(lines)}")
+
+    prev_step, prev_time = None, None
+    for i, line in enumerate(lines, start=1):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i}: not valid JSON: {e}")
+        if not isinstance(rec, dict):
+            fail(f"{path}:{i}: record is not a JSON object")
+        for key in REQUIRED:
+            if key not in rec:
+                fail(f"{path}:{i}: missing required key \"{key}\"")
+            v = rec[key]
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                fail(f"{path}:{i}: \"{key}\" is not numeric: {v!r}")
+            if not math.isfinite(v):
+                fail(f"{path}:{i}: \"{key}\" is not finite: {v!r}")
+        if prev_step is not None and rec["step"] <= prev_step:
+            fail(f"{path}:{i}: step {rec['step']} not strictly increasing "
+                 f"(previous {prev_step})")
+        if prev_time is not None and rec["time"] < prev_time:
+            fail(f"{path}:{i}: time {rec['time']} decreased "
+                 f"(previous {prev_time})")
+        if rec["dt"] <= 0:
+            fail(f"{path}:{i}: dt {rec['dt']} is not positive")
+        per_level = rec.get("per_level")
+        if per_level is not None:
+            if (not isinstance(per_level, list)
+                    or any(not isinstance(n, int) or n < 0
+                           for n in per_level)):
+                fail(f"{path}:{i}: \"per_level\" is not a list of "
+                     f"non-negative ints")
+            if sum(per_level) != rec["elements"]:
+                fail(f"{path}:{i}: per_level sums to {sum(per_level)}, "
+                     f"elements says {rec['elements']}")
+        prev_step, prev_time = rec["step"], rec["time"]
+
+    print(f"check_telemetry: OK: {len(lines)} records in {path}, "
+          f"steps {lines and json.loads(lines[0])['step']}..{prev_step}")
+
+
+def check_bundle(dump_dir: str) -> None:
+    if not os.path.isdir(dump_dir):
+        fail(f"dump dir {dump_dir} does not exist")
+
+    reason = os.path.join(dump_dir, "reason.txt")
+    try:
+        with open(reason, encoding="utf-8") as f:
+            text = f.read().strip()
+    except OSError as e:
+        fail(f"cannot read {reason}: {e}")
+    if not text:
+        fail(f"{reason} is empty")
+
+    for name in ("trace.json", "counters.json", "phases.json",
+                 "residuals.json"):
+        path = os.path.join(dump_dir, name)
+        try:
+            with open(path, encoding="utf-8") as f:
+                json.load(f)
+        except OSError as e:
+            fail(f"cannot read {path}: {e}")
+        except json.JSONDecodeError as e:
+            fail(f"{path} is not valid JSON: {e}")
+
+    tail = os.path.join(dump_dir, "telemetry_tail.jsonl")
+    try:
+        with open(tail, encoding="utf-8") as f:
+            tail_lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        fail(f"cannot read {tail}: {e}")
+    for i, line in enumerate(tail_lines, start=1):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{tail}:{i}: not valid JSON: {e}")
+        if not isinstance(rec, dict):
+            fail(f"{tail}:{i}: record is not a JSON object")
+
+    print(f"check_telemetry: OK: bundle in {dump_dir} "
+          f"(reason: {text.splitlines()[0]!r}, "
+          f"{len(tail_lines)} telemetry tail records)")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("jsonl", nargs="?", help="telemetry JSONL stream")
+    ap.add_argument("--min-records", type=int, default=1,
+                    help="minimum number of JSONL records expected")
+    ap.add_argument("--dump-dir",
+                    help="validate a flight-recorder bundle directory")
+    args = ap.parse_args()
+
+    if not args.jsonl and not args.dump_dir:
+        fail("nothing to check: pass a JSONL file and/or --dump-dir")
+    if args.jsonl:
+        check_jsonl(args.jsonl, args.min_records)
+    if args.dump_dir:
+        check_bundle(args.dump_dir)
+
+
+if __name__ == "__main__":
+    main()

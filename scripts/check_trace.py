@@ -5,6 +5,10 @@ Checks (exit 1 with a message on the first failure):
   * the file parses as JSON and has a "traceEvents" list,
   * every complete ("X") event carries name/ts/dur with dur >= 0,
   * at least --ranks distinct tids each recorded at least one span,
+  * every rank track declared by thread_name metadata recorded at least
+    one span (an empty declared track means a rank lost its events),
+  * the "alpsDropped" per-rank counts are all zero (a non-zero count means
+    the ring overflowed and the trace is silently truncated),
   * every --require name appears among the recorded spans,
   * at least one properly nested span pair exists (same tid, containment),
     i.e. the scoped-span hierarchy survived export.
@@ -46,10 +50,13 @@ def main() -> None:
         fail('missing "traceEvents" list')
 
     spans_by_tid = defaultdict(list)
+    declared_tids = set()
     names = set()
     for i, ev in enumerate(events):
         if not isinstance(ev, dict) or "ph" not in ev:
             fail(f"event {i} is not an object with a \"ph\" field")
+        if ev["ph"] == "M" and ev.get("name") == "thread_name":
+            declared_tids.add(ev.get("tid"))
         if ev["ph"] != "X":
             continue
         for key in ("name", "tid", "ts", "dur"):
@@ -64,6 +71,18 @@ def main() -> None:
     if len(populated) < args.ranks:
         fail(f"expected >= {args.ranks} rank tracks with spans, "
              f"found {len(populated)} ({sorted(populated)})")
+
+    empty = sorted(t for t in declared_tids if t not in spans_by_tid)
+    if empty:
+        fail(f"declared rank tracks recorded no spans: {empty}")
+
+    dropped = doc.get("alpsDropped", [])
+    if not isinstance(dropped, list):
+        fail('"alpsDropped" is not a list')
+    bad = {rank: n for rank, n in enumerate(dropped) if n > 0}
+    if bad:
+        fail(f"dropped span events (ring overflow, raise ALPS_TRACE_BUF): "
+             f"{bad}")
 
     missing = [n for n in args.require if n not in names]
     if missing:

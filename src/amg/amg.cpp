@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "amg/classical.hpp"
+#include "obs/telemetry.hpp"
 
 namespace alps::amg {
 
@@ -212,7 +213,30 @@ void Amg::vcycle(std::span<const double> b, std::span<double> x) const {
 
 void Amg::solve(std::span<const double> b, std::span<double> x,
                 int cycles) const {
-  for (int c = 0; c < cycles; ++c) vcycle(b, x);
+  if (!opt_.track_convergence) {
+    for (int c = 0; c < cycles; ++c) vcycle(b, x);
+    return;
+  }
+  const la::Csr& a = levels_.empty() ? coarse_a_ : levels_.front().a;
+  std::vector<double> res(static_cast<std::size_t>(a.rows()));
+  const auto residual_norm = [&] {
+    a.matvec(x, res);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < res.size(); ++i) {
+      const double r = b[i] - res[i];
+      sum += r * r;
+    }
+    return std::sqrt(sum);
+  };
+  factors_.clear();
+  double prev = residual_norm();
+  for (int c = 0; c < cycles; ++c) {
+    vcycle(b, x);
+    const double cur = residual_norm();
+    factors_.push_back(prev > 0.0 ? cur / prev : 0.0);
+    prev = cur;
+  }
+  obs::record_history("amg.solve.factors", factors_);
 }
 
 double Amg::operator_complexity() const {

@@ -20,6 +20,9 @@ struct AmgOptions {
   std::int64_t coarse_size = 64;  // direct solve at or below this
   int pre_smooth = 1;
   int post_smooth = 1;
+  /// When set, solve() measures ||r_k|| / ||r_{k-1}|| per V-cycle (one
+  /// extra fine-level matvec each) and keeps it in convergence_factors().
+  bool track_convergence = false;
 };
 
 struct LevelStats {
@@ -37,8 +40,14 @@ class Amg {
   /// typical for preconditioner use).
   void vcycle(std::span<const double> b, std::span<double> x) const;
 
-  /// Run `cycles` V-cycles, keeping x as the running iterate.
+  /// Run `cycles` V-cycles, keeping x as the running iterate. With
+  /// opt.track_convergence the per-cycle residual contraction factors are
+  /// recorded (see convergence_factors).
   void solve(std::span<const double> b, std::span<double> x, int cycles) const;
+
+  /// ||r_k|| / ||r_{k-1}|| for each V-cycle of the last tracked solve();
+  /// empty unless opt.track_convergence was set.
+  const std::vector<double>& convergence_factors() const { return factors_; }
 
   int num_levels() const { return static_cast<int>(stats_.size()); }
   const std::vector<LevelStats>& level_stats() const { return stats_; }
@@ -62,6 +71,7 @@ class Amg {
   std::unique_ptr<la::DenseLu> coarse_;
   la::Csr coarse_a_;
   std::vector<LevelStats> stats_;
+  mutable std::vector<double> factors_;  // last tracked solve()
   // Scratch buffers per level (mutable: vcycle is logically const).
   mutable std::vector<std::vector<double>> scratch_r_, scratch_x_;
 };

@@ -7,6 +7,7 @@
 
 #include "amg/classical.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 
 namespace alps::amg {
 
@@ -277,7 +278,30 @@ void DistAmg::vcycle(par::Comm& comm, std::span<const double> b,
 
 void DistAmg::solve(par::Comm& comm, std::span<const double> b,
                     std::span<double> x, int cycles) const {
-  for (int c = 0; c < cycles; ++c) vcycle(comm, b, x);
+  if (!opt_.track_convergence) {
+    for (int c = 0; c < cycles; ++c) vcycle(comm, b, x);
+    return;
+  }
+  const la::DistCsr& a = finest();
+  std::vector<double> res(static_cast<std::size_t>(a.owned_rows()));
+  const auto residual_norm = [&] {
+    a.matvec(comm, x, res);
+    double local = 0.0;
+    for (std::size_t i = 0; i < res.size(); ++i) {
+      const double r = b[i] - res[i];
+      local += r * r;
+    }
+    return std::sqrt(comm.allreduce_sum(local));
+  };
+  factors_.clear();
+  double prev = residual_norm();
+  for (int c = 0; c < cycles; ++c) {
+    vcycle(comm, b, x);
+    const double cur = residual_norm();
+    factors_.push_back(prev > 0.0 ? cur / prev : 0.0);
+    prev = cur;
+  }
+  if (comm.rank() == 0) obs::record_history("amg.solve.factors", factors_);
 }
 
 std::int64_t DistAmg::local_nnz() const {

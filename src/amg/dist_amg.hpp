@@ -35,8 +35,14 @@ class DistAmg {
               std::span<double> x) const;
 
   /// Run `cycles` V-cycles, keeping x as the running iterate. Collective.
+  /// With opt.track_convergence the per-cycle global residual contraction
+  /// factors are recorded (one extra matvec + allreduce per cycle).
   void solve(par::Comm& comm, std::span<const double> b, std::span<double> x,
              int cycles) const;
+
+  /// ||r_k|| / ||r_{k-1}|| per V-cycle of the last tracked solve();
+  /// empty unless opt.track_convergence was set. Identical on all ranks.
+  const std::vector<double>& convergence_factors() const { return factors_; }
 
   int num_levels() const { return static_cast<int>(stats_.size()); }
   const std::vector<LevelStats>& level_stats() const { return stats_; }
@@ -69,6 +75,7 @@ class DistAmg {
   std::vector<LevelStats> stats_;     // global n / nnz per level
   std::vector<std::int64_t> local_nnz_per_level_;
   mutable std::vector<double> coarse_b_, coarse_x_;  // replicated scratch
+  mutable std::vector<double> factors_;              // last tracked solve()
 };
 
 }  // namespace alps::amg

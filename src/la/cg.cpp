@@ -14,10 +14,18 @@ SolveResult cg(const LinOp& op, std::span<const double> b,
   std::vector<double> r(n), z(n), p(n), ap(n);
   op(x, ap);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
-  const double norm0 = std::sqrt(std::max(0.0, dot(r, r)));
   SolveResult res;
+  detail::ConvergenceMonitor mon(opt, res);
+  const double rr0 = dot(r, r);
+  if (!std::isfinite(rr0)) {
+    res.status = SolveStatus::kNonFinite;
+    mon.finish();
+    return res;
+  }
+  const double norm0 = std::sqrt(std::max(0.0, rr0));
   if (norm0 == 0.0) {
-    res.converged = true;
+    res.status = SolveStatus::kConverged;
+    mon.finish();
     return res;
   }
   precond(r, z);
@@ -27,24 +35,30 @@ SolveResult cg(const LinOp& op, std::span<const double> b,
   for (int j = 1; j <= opt.max_iterations; ++j) {
     op(p, ap);
     const double pap = dot(p, ap);
-    if (pap <= 0.0) break;  // loss of positive definiteness
+    if (!std::isfinite(pap)) {
+      res.status = SolveStatus::kNonFinite;
+      break;
+    }
+    if (pap <= 0.0) {  // loss of positive definiteness
+      res.status = SolveStatus::kDiverged;
+      break;
+    }
     const double alpha = rz / pap;
     for (std::size_t i = 0; i < n; ++i) {
       x[i] += alpha * p[i];
       r[i] -= alpha * ap[i];
     }
-    res.iterations = j;
-    res.relative_residual = std::sqrt(std::max(0.0, dot(r, r))) / norm0;
-    if (res.relative_residual < opt.rtol) {
-      res.converged = true;
-      break;
-    }
+    const double rr = dot(r, r);
+    const double relres =
+        std::isfinite(rr) ? std::sqrt(std::max(0.0, rr)) / norm0 : rr;
+    if (!mon.update(j, relres)) break;
     precond(r, z);
     const double rz_new = dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
+  mon.finish();
   obs::counter_add(obs::wellknown::cg_iterations(),
                    static_cast<std::uint64_t>(res.iterations));
   return res;

@@ -1,0 +1,54 @@
+#include "la/krylov.hpp"
+
+#include <cmath>
+
+namespace alps::la {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kMaxIterations: return "max_iterations";
+    case SolveStatus::kStagnated: return "stagnated";
+    case SolveStatus::kDiverged: return "diverged";
+    case SolveStatus::kNonFinite: return "non_finite";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+bool ConvergenceMonitor::update(int j, double relres) {
+  res_.iterations = j;
+  res_.relative_residual = relres;
+  ring_.push(relres);
+  if (!std::isfinite(relres)) {
+    res_.status = SolveStatus::kNonFinite;
+    return false;
+  }
+  if (relres < opt_.rtol) {
+    res_.status = SolveStatus::kConverged;
+    return false;
+  }
+  if (relres > opt_.divergence_tol) {
+    res_.status = SolveStatus::kDiverged;
+    return false;
+  }
+  if (best_ < 0.0 || relres < best_) {
+    best_ = relres;
+    best_iter_ = j;
+  } else if (opt_.stagnation_window > 0 &&
+             j - best_iter_ >= opt_.stagnation_window) {
+    res_.status = SolveStatus::kStagnated;
+    return false;
+  }
+  return true;
+}
+
+void ConvergenceMonitor::finish() {
+  res_.residual_history = ring_.take();
+  res_.converged = res_.status == SolveStatus::kConverged;
+}
+
+}  // namespace detail
+
+}  // namespace alps::la

@@ -1,5 +1,4 @@
 #include <cmath>
-#include <stdexcept>
 #include <vector>
 
 #include "la/krylov.hpp"
@@ -19,11 +18,19 @@ SolveResult minres(const LinOp& op, std::span<const double> b,
   op(x, az);
   for (std::size_t i = 0; i < n; ++i) v[i] = b[i] - az[i];
   precond(v, z);
-  double gamma = std::sqrt(std::max(0.0, dot(z, v)));
-  const double norm0 = gamma;
   SolveResult res;
+  detail::ConvergenceMonitor mon(opt, res);
+  const double zv0 = dot(z, v);
+  if (!std::isfinite(zv0)) {
+    res.status = SolveStatus::kNonFinite;
+    mon.finish();
+    return res;
+  }
+  double gamma = std::sqrt(std::max(0.0, zv0));
+  const double norm0 = gamma;
   if (norm0 == 0.0) {
-    res.converged = true;
+    res.status = SolveStatus::kConverged;
+    mon.finish();
     return res;
   }
 
@@ -37,14 +44,28 @@ SolveResult minres(const LinOp& op, std::span<const double> b,
     for (std::size_t i = 0; i < n; ++i)
       v_new[i] = az[i] - (delta / gamma) * v[i] - (gamma / gamma_old) * v_old[i];
     precond(v_new, z_new);
-    const double gamma_new = std::sqrt(std::max(0.0, dot(z_new, v_new)));
+    const double zv = dot(z_new, v_new);
+    if (!std::isfinite(zv)) {
+      res.iterations = j;
+      res.status = SolveStatus::kNonFinite;
+      break;
+    }
+    const double gamma_new = std::sqrt(std::max(0.0, zv));
 
     const double alpha0 = c_cur * delta - c_prev * s_cur * gamma;
     const double alpha1 = std::sqrt(alpha0 * alpha0 + gamma_new * gamma_new);
     const double alpha2 = s_cur * delta + c_prev * c_cur * gamma;
     const double alpha3 = s_prev * gamma;
-    if (alpha1 == 0.0)
-      throw std::runtime_error("minres: breakdown (alpha1 == 0)");
+    if (alpha1 == 0.0) {  // Lanczos breakdown
+      res.iterations = j;
+      res.status = SolveStatus::kDiverged;
+      break;
+    }
+    if (!std::isfinite(alpha1)) {
+      res.iterations = j;
+      res.status = SolveStatus::kNonFinite;
+      break;
+    }
 
     c_prev = c_cur;
     s_prev = s_cur;
@@ -64,18 +85,14 @@ SolveResult minres(const LinOp& op, std::span<const double> b,
     gamma_old = gamma;
     gamma = gamma_new;
 
-    res.iterations = j;
-    res.relative_residual = std::abs(eta) / norm0;
-    if (res.relative_residual < opt.rtol) {
-      res.converged = true;
-      break;
-    }
+    if (!mon.update(j, std::abs(eta) / norm0)) break;
     if (gamma == 0.0) {  // exact solution reached
-      res.converged = true;
+      res.status = SolveStatus::kConverged;
       res.relative_residual = 0.0;
       break;
     }
   }
+  mon.finish();
   obs::counter_add(obs::wellknown::minres_iterations(),
                    static_cast<std::uint64_t>(res.iterations));
   return res;

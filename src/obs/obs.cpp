@@ -325,7 +325,14 @@ std::string chrome_trace_json() {
       out += "}";
     }
   }
-  out += "\n], \"displayTimeUnit\": \"ms\"}";
+  // Per-rank dropped-event counts so trace validators can reject
+  // truncated recordings instead of silently passing them.
+  out += "\n], \"displayTimeUnit\": \"ms\", \"alpsDropped\": [";
+  for (std::size_t r = 0; r < s.slots.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += std::to_string(s.slots[r]->dropped);
+  }
+  out += "]}";
   return out;
 }
 

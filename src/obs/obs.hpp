@@ -174,7 +174,9 @@ std::vector<PhaseBreakdown> aggregate_phases();
 // ---- trace export -----------------------------------------------------
 
 /// All ranks' spans as Chrome trace-event JSON ("X" complete events,
-/// pid 0, tid = rank, ts/dur in microseconds) plus thread-name metadata.
+/// pid 0, tid = rank, ts/dur in microseconds) plus thread-name metadata
+/// and a top-level "alpsDropped" array (per-rank dropped-event counts,
+/// checked by scripts/check_trace.py).
 std::string chrome_trace_json();
 void write_chrome_trace(const std::string& path);
 /// If tracing is enabled, write the trace to ALPS_TRACE_OUT (or

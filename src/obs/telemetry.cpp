@@ -1,0 +1,201 @@
+#include "obs/telemetry.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace alps::obs {
+
+namespace {
+
+constexpr std::size_t kTailCapacity = 256;   // lines kept for the dump
+constexpr std::size_t kHistoriesPerName = 4; // residual histories kept
+
+// -1 = not yet read from ALPS_TELEMETRY.
+std::atomic<int> g_telemetry{-1};
+
+int telemetry_init() {
+  int on = 0;
+  if (const char* env = std::getenv("ALPS_TELEMETRY")) {
+    const std::string v(env);
+    if (!v.empty() && v != "0") on = 1;
+  }
+  g_telemetry.store(on, std::memory_order_relaxed);
+  return on;
+}
+
+struct Sink {
+  std::mutex mtx;
+  std::string path_override;
+  std::ofstream file;
+  bool opened = false;
+  std::deque<std::string> tail;
+  std::uint64_t records = 0;
+  std::map<std::string, std::deque<std::vector<double>>> histories;
+};
+
+Sink& sink() {
+  static Sink s;
+  return s;
+}
+
+}  // namespace
+
+bool telemetry_enabled() {
+  const int v = g_telemetry.load(std::memory_order_relaxed);
+  return (v >= 0 ? v : telemetry_init()) != 0;
+}
+
+void set_telemetry(bool on) {
+  g_telemetry.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::string telemetry_path() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  if (!s.path_override.empty()) return s.path_override;
+  if (const char* env = std::getenv("ALPS_TELEMETRY_OUT"))
+    if (*env != '\0') return env;
+  return "alps_telemetry.jsonl";
+}
+
+void set_telemetry_path(const std::string& path) {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  s.path_override = path;
+  if (s.opened) {
+    s.file.close();
+    s.opened = false;
+  }
+}
+
+// ---- record builder ---------------------------------------------------
+
+void TelemetryRecord::comma() {
+  if (!body_.empty()) body_ += ", ";
+}
+
+TelemetryRecord& TelemetryRecord::field(const char* key, double v) {
+  comma();
+  // JSON has no NaN/Inf literal; a dying run (the flight-recorder case)
+  // must still produce parseable lines, so non-finite becomes null.
+  char buf[40] = "null";
+  if (std::isfinite(v)) std::snprintf(buf, sizeof buf, "%.12g", v);
+  body_ += '"' + std::string(key) + "\": " + buf;
+  return *this;
+}
+
+TelemetryRecord& TelemetryRecord::field(const char* key, std::int64_t v) {
+  comma();
+  body_ += '"' + std::string(key) + "\": " + std::to_string(v);
+  return *this;
+}
+
+TelemetryRecord& TelemetryRecord::field(const char* key, std::uint64_t v) {
+  comma();
+  body_ += '"' + std::string(key) + "\": " + std::to_string(v);
+  return *this;
+}
+
+TelemetryRecord& TelemetryRecord::field(const char* key, int v) {
+  return field(key, static_cast<std::int64_t>(v));
+}
+
+TelemetryRecord& TelemetryRecord::field(const char* key,
+                                        const std::string& v) {
+  comma();
+  body_ += '"' + std::string(key) + "\": \"" + v + '"';
+  return *this;
+}
+
+TelemetryRecord& TelemetryRecord::field(const char* key,
+                                        std::span<const std::int64_t> v) {
+  comma();
+  body_ += '"' + std::string(key) + "\": [";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) body_ += ", ";
+    body_ += std::to_string(v[i]);
+  }
+  body_ += ']';
+  return *this;
+}
+
+// ---- sink -------------------------------------------------------------
+
+void telemetry_emit(const TelemetryRecord& rec) {
+  const std::string line = rec.json();
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  s.records++;
+  s.tail.push_back(line);
+  if (s.tail.size() > kTailCapacity) s.tail.pop_front();
+  if (!telemetry_enabled()) return;  // tail still records for the dump
+  if (!s.opened) {
+    std::string path = s.path_override;
+    if (path.empty()) {
+      if (const char* env = std::getenv("ALPS_TELEMETRY_OUT"))
+        if (*env != '\0') path = env;
+      if (path.empty()) path = "alps_telemetry.jsonl";
+    }
+    s.file.open(path, std::ios::trunc);
+    if (!s.file)
+      throw std::runtime_error("obs: cannot open telemetry output " + path);
+    s.opened = true;
+  }
+  s.file << line << '\n';
+  s.file.flush();  // a crashed run must keep its telemetry
+}
+
+std::vector<std::string> telemetry_tail() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  return {s.tail.begin(), s.tail.end()};
+}
+
+std::uint64_t telemetry_records() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  return s.records;
+}
+
+// ---- solver history registry ------------------------------------------
+
+void record_history(const char* name, std::span<const double> values) {
+  if (values.empty()) return;
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  auto& q = s.histories[name];
+  q.emplace_back(values.begin(), values.end());
+  if (q.size() > kHistoriesPerName) q.pop_front();
+}
+
+std::vector<std::pair<std::string, std::vector<std::vector<double>>>>
+histories() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  std::vector<std::pair<std::string, std::vector<std::vector<double>>>> out;
+  out.reserve(s.histories.size());
+  for (const auto& [name, q] : s.histories)
+    out.emplace_back(name, std::vector<std::vector<double>>(q.begin(), q.end()));
+  return out;
+}
+
+void telemetry_reset_for_testing() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  s.tail.clear();
+  s.histories.clear();
+  s.records = 0;
+  if (s.opened) {
+    s.file.close();
+    s.opened = false;
+  }
+}
+
+}  // namespace alps::obs

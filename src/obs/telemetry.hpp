@@ -1,0 +1,97 @@
+#pragma once
+// alps::obs telemetry — the per-timestep health stream (DESIGN.md §8).
+//
+// While spans answer "where did the time go", telemetry answers "is the
+// simulation healthy and converging": one JSONL record per time step
+// (step, time, dt, mesh statistics, solver iterations and residuals,
+// physics diagnostics), appended to ALPS_TELEMETRY_OUT by rank 0 of the
+// rhea timestep loop. The stream reproduces the paper's Fig. 5 (mesh
+// statistics per adaptation) and Fig. 6 (long-horizon convection
+// diagnostics) data directly; scripts/check_telemetry.py validates the
+// schema and step monotonicity in CI.
+//
+// The sink also keeps an in-memory tail ring of the last records and a
+// registry of recent solver residual histories — both are written into
+// the flight-recorder bundle (obs/dump.hpp) when a run dies.
+//
+// Enablement: ALPS_TELEMETRY=1 (or any non-empty value but "0") turns the
+// stream on; ALPS_TELEMETRY_OUT overrides the output path (default
+// "alps_telemetry.jsonl"). set_telemetry()/set_telemetry_path() override
+// the environment programmatically (tests). Emission is mutex-guarded —
+// it is a once-per-timestep cold path.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alps::obs {
+
+// ---- enablement -------------------------------------------------------
+
+/// True when ALPS_TELEMETRY is set (and not "0"/"") or set_telemetry(true)
+/// was called.
+bool telemetry_enabled();
+void set_telemetry(bool on);  // overrides ALPS_TELEMETRY
+
+/// Output path: ALPS_TELEMETRY_OUT, or the set_telemetry_path override,
+/// or "alps_telemetry.jsonl".
+std::string telemetry_path();
+/// Override the output path (takes precedence over the environment;
+/// empty string restores the default resolution). Closes any open sink.
+void set_telemetry_path(const std::string& path);
+
+// ---- record builder ---------------------------------------------------
+
+/// One JSONL record. Keys are emitted in call order; no escaping is
+/// performed (telemetry keys and string values are ASCII identifiers).
+class TelemetryRecord {
+ public:
+  TelemetryRecord& field(const char* key, double v);
+  TelemetryRecord& field(const char* key, std::int64_t v);
+  TelemetryRecord& field(const char* key, std::uint64_t v);
+  TelemetryRecord& field(const char* key, int v);
+  TelemetryRecord& field(const char* key, const std::string& v);
+  /// Integer array value, e.g. per-level element counts.
+  TelemetryRecord& field(const char* key, std::span<const std::int64_t> v);
+
+  /// The record as a single JSON object line (no trailing newline).
+  std::string json() const { return "{" + body_ + "}"; }
+
+ private:
+  void comma();
+  std::string body_;
+};
+
+// ---- sink -------------------------------------------------------------
+
+/// Append `rec` as one line to the telemetry file (lazily opened,
+/// truncated on the first emit of the process) and to the in-memory tail
+/// ring. Call from one rank per record — by convention rank 0 of the
+/// simulation loop. Thread-safe.
+void telemetry_emit(const TelemetryRecord& rec);
+
+/// The most recent emitted lines, oldest first (bounded ring; also fed by
+/// emits that happened while the file sink was disabled).
+std::vector<std::string> telemetry_tail();
+
+/// Number of records emitted since process start (monotonic).
+std::uint64_t telemetry_records();
+
+// ---- solver history registry ------------------------------------------
+
+/// Keep `values` as the most recent history under `name` (per-iteration
+/// Krylov residuals, AMG convergence factors, ...). A bounded number of
+/// histories per name is retained, newest last. Thread-safe; cold path.
+void record_history(const char* name, std::span<const double> values);
+
+/// Snapshot of all recorded histories, sorted by name; each name carries
+/// its retained histories, oldest first.
+std::vector<std::pair<std::string, std::vector<std::vector<double>>>>
+histories();
+
+/// Drop all recorded histories and the telemetry tail (tests).
+void telemetry_reset_for_testing();
+
+}  // namespace alps::obs

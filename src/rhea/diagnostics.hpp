@@ -1,0 +1,35 @@
+#pragma once
+// Per-timestep physics diagnostics (paper Fig. 6): the scalar time series
+// that tells whether a convection run is healthy — Nusselt number, RMS
+// velocity, temperature extrema. Computed with the same 2x2x2 Gauss
+// quadrature as assembly so the volume averages are consistent with the
+// discretization. Collective (one allreduce), cheap (one mesh sweep), and
+// emitted into the telemetry stream by the Simulation timestep loop.
+
+#include <span>
+
+#include "forest/connectivity.hpp"
+#include "mesh/mesh.hpp"
+#include "par/comm.hpp"
+
+namespace alps::rhea {
+
+struct PhysicsDiagnostics {
+  /// Nu = 1 + <u_z T> / kappa, the classical volume-averaged advective
+  /// heat-transport measure for the unit Rayleigh-Benard cell (1 when
+  /// kappa <= 0 or the flow is at rest).
+  double nusselt = 1.0;
+  double v_rms = 0.0;   // sqrt(<|u|^2>), volume-averaged
+  double t_min = 0.0;   // over owned dofs
+  double t_max = 0.0;
+  double t_mean = 0.0;  // volume-averaged
+};
+
+/// Compute the diagnostics for nodal temperature (n_local) and 4-component
+/// velocity+pressure solution (4 * n_local). Collective.
+PhysicsDiagnostics compute_physics_diagnostics(
+    par::Comm& comm, const mesh::Mesh& m, const forest::Connectivity& conn,
+    std::span<const double> temperature, std::span<const double> solution,
+    double kappa);
+
+}  // namespace alps::rhea

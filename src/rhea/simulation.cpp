@@ -1,9 +1,17 @@
 #include "rhea/simulation.hpp"
 
+#include <cmath>
+#include <filesystem>
+#include <limits>
+
+#include "io/vtk.hpp"
 #include "mesh/fields.hpp"
+#include "obs/dump.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "octree/mark.hpp"
 #include "octree/partition.hpp"
+#include "rhea/diagnostics.hpp"
 
 namespace alps::rhea {
 
@@ -109,9 +117,9 @@ void Simulation::update_velocity() {
   // StokesSolver accumulates the stokes.assemble / amg.setup / amg.apply /
   // stokes.minres obs phases itself; the PicardResult timings are only for
   // callers outside a rank context.
-  stokes::solve_nonlinear_stokes(*comm_, mesh_, forest_.connectivity(),
-                                 cfg_.law, temperature_, solution_,
-                                 cfg_.picard);
+  last_stokes_ = stokes::solve_nonlinear_stokes(
+      *comm_, mesh_, forest_.connectivity(), cfg_.law, temperature_,
+      solution_, cfg_.picard);
 }
 
 void Simulation::extract_and_rebuild(std::span<const double> element_temps) {
@@ -233,7 +241,9 @@ void Simulation::adapt_once() {
 }
 
 void Simulation::run(int steps) {
+  const obs::CounterId vcycles_id = obs::wellknown::amg_vcycles();
   for (int s = 0; s < steps; ++s) {
+    const std::uint64_t vc0 = obs::counter_value(comm_->rank(), vcycles_id);
     if (steps_ > 0 && cfg_.adapt_every > 0 && steps_ % cfg_.adapt_every == 0) {
       adapt_once();
       update_velocity();
@@ -244,15 +254,133 @@ void Simulation::run(int steps) {
       update_velocity();  // analytic refresh for time-dependent fields
     }
 
-    OBS_PHASE_SPAN("energy.time_integration");
-    if (!energy_)
-      energy_ = std::make_unique<energy::EnergySolver>(
-          *comm_, mesh_, forest_.connectivity(), solution_, cfg_.energy);
-    const double dt = energy_->stable_dt(*comm_);
-    energy_->step(*comm_, temperature_, dt);
-    time_ += dt;
-    steps_++;
+    double dt = 0.0;
+    {
+      OBS_PHASE_SPAN("energy.time_integration");
+      if (!energy_)
+        energy_ = std::make_unique<energy::EnergySolver>(
+            *comm_, mesh_, forest_.connectivity(), solution_, cfg_.energy);
+      dt = energy_->stable_dt(*comm_);
+      energy_->step(*comm_, temperature_, dt);
+      time_ += dt;
+      steps_++;
+    }
+
+    if (steps_ == cfg_.nan_inject_step && comm_->rank() == 0 &&
+        !temperature_.empty())
+      temperature_[0] = std::numeric_limits<double>::quiet_NaN();
+
+    if (obs::telemetry_enabled())
+      emit_step_telemetry(
+          dt, obs::counter_value(comm_->rank(), vcycles_id) - vc0);
+    if (cfg_.sentinels) check_sentinels();
   }
+}
+
+void Simulation::emit_step_telemetry(double dt, std::uint64_t step_vcycles) {
+  // Collective statistics first (every rank participates), then one rank
+  // writes the record.
+  const std::int64_t local_elements = forest_.tree().num_local();
+  const std::int64_t total_elements = comm_->allreduce_sum(local_elements);
+  const std::int64_t max_elements = comm_->allreduce_max(local_elements);
+  const double imbalance =
+      total_elements > 0
+          ? static_cast<double>(max_elements) * comm_->size() /
+                static_cast<double>(total_elements)
+          : 1.0;
+
+  std::array<std::int64_t, 20> hist{};
+  for (const auto& o : forest_.tree().leaves())
+    hist[static_cast<std::size_t>(o.level)]++;
+  hist = comm_->allreduce(
+      hist,
+      [](const std::array<std::int64_t, 20>& a,
+         const std::array<std::int64_t, 20>& b) {
+        std::array<std::int64_t, 20> r;
+        for (std::size_t i = 0; i < r.size(); ++i) r[i] = a[i] + b[i];
+        return r;
+      });
+  int max_level = 0;
+  for (std::size_t l = 0; l < hist.size(); ++l)
+    if (hist[l] > 0) max_level = static_cast<int>(l);
+
+  const std::uint64_t vcycles = comm_->allreduce_sum(step_vcycles);
+  const PhysicsDiagnostics phys = compute_physics_diagnostics(
+      *comm_, mesh_, forest_.connectivity(), temperature_, solution_,
+      cfg_.energy.kappa);
+
+  if (comm_->rank() != 0) return;
+  obs::TelemetryRecord rec;
+  rec.field("step", static_cast<std::int64_t>(steps_))
+      .field("time", time_)
+      .field("dt", dt)
+      .field("ranks", comm_->size())
+      .field("elements", total_elements)
+      .field("dofs", mesh_.n_global)
+      .field("partition_imbalance", imbalance)
+      .field("per_level",
+             std::span<const std::int64_t>(hist.data(),
+                                           static_cast<std::size_t>(max_level) +
+                                               1))
+      .field("picard_iterations",
+             static_cast<std::int64_t>(last_stokes_.iterations))
+      .field("amg_vcycles", vcycles);
+  if (!last_stokes_.solves.empty()) {
+    const la::SolveResult& kr = last_stokes_.solves.back();
+    rec.field("minres_iterations", static_cast<std::int64_t>(kr.iterations))
+        .field("minres_relres", kr.relative_residual)
+        .field("minres_status", la::to_string(kr.status));
+  }
+  rec.field("nusselt", phys.nusselt)
+      .field("v_rms", phys.v_rms)
+      .field("t_min", phys.t_min)
+      .field("t_max", phys.t_max)
+      .field("t_mean", phys.t_mean);
+  obs::telemetry_emit(rec);
+}
+
+void Simulation::check_sentinels() {
+  bool bad = false;
+  for (std::int64_t i = 0; i < mesh_.n_owned && !bad; ++i)
+    bad = !std::isfinite(temperature_[static_cast<std::size_t>(i)]);
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(mesh_.n_owned) * 4 && !bad; ++i)
+    bad = !std::isfinite(solution_[i]);
+  if (!comm_->allreduce_or(bad)) return;
+
+  // Every rank reaches this point together (collective trip), so the
+  // collective snapshot and the barriers below are safe.
+  const std::string reason =
+      "sentinel: non-finite temperature/solution after step " +
+      std::to_string(steps_) + " (t = " + std::to_string(time_) + ")";
+  const std::string dir = obs::dump_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (!ec) {
+    // Field snapshot: temperature plus the three velocity components.
+    // NaNs are written as-is; ParaView renders them as holes.
+    std::vector<io::VtkField> fields;
+    fields.push_back(
+        {"temperature", mesh::to_element_values(mesh_, temperature_)});
+    std::vector<double> comp(static_cast<std::size_t>(mesh_.n_local));
+    const char* names[3] = {"vx", "vy", "vz"};
+    for (int c = 0; c < 3; ++c) {
+      for (std::int64_t i = 0; i < mesh_.n_local; ++i)
+        comp[static_cast<std::size_t>(i)] =
+            solution_[static_cast<std::size_t>(i) * 4 +
+                      static_cast<std::size_t>(c)];
+      fields.push_back({names[c], mesh::to_element_values(mesh_, comp)});
+    }
+    io::write_vtk(*comm_, forest_.connectivity(), mesh_, dir + "/snapshot.vtk",
+                  fields);
+  }
+  // Rank 0 reads every rank's obs slot in panic_dump; the surrounding
+  // barriers keep the other rank threads quiescent (and provide the
+  // happens-before edges) while it does.
+  comm_->barrier();
+  if (comm_->rank() == 0) obs::panic_dump(reason);
+  comm_->barrier();
+  throw SentinelError(reason);
 }
 
 }  // namespace alps::rhea

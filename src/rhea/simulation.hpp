@@ -7,6 +7,7 @@
 // adaptation step records the Fig. 5 statistics.
 
 #include <functional>
+#include <stdexcept>
 
 #include "energy/energy.hpp"
 #include "rhea/indicator.hpp"
@@ -80,6 +81,22 @@ struct SimConfig {
   int adjoint_pseudo_steps = 10;
   double strain_weight = 0.0;  // yielding-zone term in the indicator
   int stokes_every = 1;        // velocity update cadence (convection mode)
+
+  /// Scan temperature and solution for NaN/Inf after every step (one local
+  /// sweep + one allreduce_or). A trip writes the flight-recorder bundle
+  /// (obs::panic_dump + a VTK field snapshot under ALPS_DUMP_DIR) on every
+  /// rank's behalf and throws SentinelError.
+  bool sentinels = true;
+  /// Test hook: poison temperature_[0] on rank 0 at this step number to
+  /// exercise the sentinel / flight-recorder path (-1 = never).
+  int nan_inject_step = -1;
+};
+
+/// Thrown (on every rank) when the NaN/Inf sentinels trip; the
+/// flight-recorder bundle has already been written when this propagates.
+class SentinelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 class Simulation {
@@ -114,8 +131,14 @@ class Simulation {
   /// Recompute the velocity (Stokes solve or prescription at `time_`).
   void update_velocity();
 
+  /// Picard/MINRES statistics of the most recent Stokes solve; iterations
+  /// is 0 until convection mode has solved at least once.
+  const stokes::PicardResult& last_stokes() const { return last_stokes_; }
+
  private:
   void extract_and_rebuild(std::span<const double> element_temps);
+  void emit_step_telemetry(double dt, std::uint64_t step_vcycles);
+  void check_sentinels();
 
   par::Comm* comm_;
   SimConfig cfg_;
@@ -126,6 +149,7 @@ class Simulation {
   double time_ = 0.0;
   int steps_ = 0;
   PhaseTimers base_;  // obs phase accumulators at construction time
+  stokes::PicardResult last_stokes_;  // convection mode only
   std::vector<AdaptationStats> adapt_history_;
   // Cached SUPG operator; invalidated when the mesh or velocity changes.
   std::unique_ptr<energy::EnergySolver> energy_;

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 
 namespace alps::stokes {
 
@@ -170,8 +171,14 @@ la::SolveResult StokesSolver::solve(par::Comm& comm,
                                 std::span<double> out) {
     apply_preconditioner(comm, in, out);
   };
-  la::SolveResult r =
-      la::minres(aop, rhs, x, pre, op_->as_dot(comm), opt_.krylov);
+  // Keep a residual history by default so the flight recorder always has
+  // the last few MINRES convergence curves (identical on all ranks; only
+  // rank 0 records to the shared registry).
+  la::KrylovOptions kopt = opt_.krylov;
+  if (kopt.history_capacity == 0) kopt.history_capacity = 64;
+  la::SolveResult r = la::minres(aop, rhs, x, pre, op_->as_dot(comm), kopt);
+  if (comm.rank() == 0)
+    obs::record_history("stokes.minres.relres", r.residual_history);
   timings_.minres_seconds += now_seconds() - t0;
 
   // Remove the constant-pressure mode (free-floating for enclosed flow).
