@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Gate the AMG setup-cost scaling recorded by bench_amg_setup.
+
+The two-pass Galerkin setup is linear in nnz, so the per-nonzero setup
+cost must stay flat as the problem grows. This script fails (exit 1)
+when the highest-level setup_ns_per_nnz exceeds --max-ratio times the
+lowest-level value, which is how CI catches a superlinear regression
+(e.g. reintroducing a scan or a per-entry hash map on the setup path).
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json", nargs="?", default="BENCH_amg_setup.json",
+                    help="bench output file (default: BENCH_amg_setup.json)")
+    ap.add_argument("--max-ratio", type=float, default=3.0,
+                    help="highest-vs-lowest level setup_ns_per_nnz bound")
+    args = ap.parse_args()
+
+    try:
+        with open(args.bench_json, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {args.bench_json}: {e}")
+        return 1
+
+    cases = [c for c in data.get("cases", [])
+             if "setup_ns_per_nnz" in c and "level" in c]
+    if len(cases) < 2:
+        print(f"check_bench: need at least two levels in {args.bench_json}, "
+              f"got {len(cases)}")
+        return 1
+
+    lo = min(cases, key=lambda c: c["level"])
+    hi = max(cases, key=lambda c: c["level"])
+    if lo["setup_ns_per_nnz"] <= 0:
+        print("check_bench: lowest-level setup_ns_per_nnz is not positive")
+        return 1
+    ratio = hi["setup_ns_per_nnz"] / lo["setup_ns_per_nnz"]
+
+    for c in sorted(cases, key=lambda c: c["level"]):
+        print(f"  level {c['level']}: {c['setup_ns_per_nnz']:.1f} ns/nnz "
+              f"(n_dof={c.get('n_dof', '?')}, setup={c.get('setup_s', 0):.3f}s, "
+              f"refresh/setup={c.get('refresh_over_setup', 0):.3f})")
+    verdict = "PASS" if ratio <= args.max_ratio else "FAIL"
+    print(f"check_bench: level {hi['level']} vs level {lo['level']} "
+          f"setup_ns_per_nnz ratio = {ratio:.2f} "
+          f"(max allowed {args.max_ratio:.2f}): {verdict}")
+    return 0 if ratio <= args.max_ratio else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,16 @@ std::vector<CF> split_cf(const std::vector<std::vector<std::int64_t>>& strong) {
         static_cast<std::int64_t>(influenced[static_cast<std::size_t>(i)].size());
 
   std::vector<CF> cf(static_cast<std::size_t>(n), CF::kUndecided);
+  // Nodes with no strong connection in either direction — Dirichlet /
+  // identity rows and rows with only weak couplings — take no part in
+  // coarse-grid correction: preset them to F so they cannot accumulate as
+  // C points on every coarser level (which stalls coarsening with a large
+  // coarsest grid). Their interpolation row stays empty and relaxation
+  // resolves them.
+  for (std::int64_t i = 0; i < n; ++i)
+    if (strong[static_cast<std::size_t>(i)].empty() &&
+        influenced[static_cast<std::size_t>(i)].empty())
+      cf[static_cast<std::size_t>(i)] = CF::kFine;
   using Entry = std::pair<std::int64_t, std::int64_t>;  // (measure, node)
   std::priority_queue<Entry> heap;
   for (std::int64_t i = 0; i < n; ++i)
@@ -119,11 +129,17 @@ la::Csr build_interpolation(const la::Csr& a,
   const auto& ci = a.colidx();
   const auto& v = a.values();
   std::vector<la::Triplet> t;
+  // Epoch-stamped membership marks: strong_mark[j] == i iff j is a strong
+  // neighbor of the row i currently being interpolated. O(1) per test
+  // instead of a linear scan of the strong list.
+  std::vector<std::int64_t> strong_mark(static_cast<std::size_t>(n), -1);
   for (std::int64_t i = 0; i < n; ++i) {
     if (cf[static_cast<std::size_t>(i)] == CF::kCoarse) {
       t.push_back({i, coarse_index[static_cast<std::size_t>(i)], 1.0});
       continue;
     }
+    for (std::int64_t j : strong[static_cast<std::size_t>(i)])
+      strong_mark[static_cast<std::size_t>(j)] = i;
     // Strong coarse neighbors of i.
     double diag = 0.0, sum_all = 0.0, sum_c = 0.0;
     std::vector<std::pair<std::int64_t, double>> cweights;
@@ -136,9 +152,8 @@ la::Csr build_interpolation(const la::Csr& a,
         continue;
       }
       sum_all += av;
-      const auto& si = strong[static_cast<std::size_t>(i)];
       if (cf[static_cast<std::size_t>(j)] == CF::kCoarse &&
-          std::find(si.begin(), si.end(), j) != si.end()) {
+          strong_mark[static_cast<std::size_t>(j)] == i) {
         sum_c += av;
         cweights.emplace_back(coarse_index[static_cast<std::size_t>(j)], av);
       }
@@ -171,6 +186,15 @@ Amg::Amg(la::Csr a, const AmgOptions& opt) : opt_(opt) {
   }
   coarse_a_ = std::move(cur);
   coarse_ = std::make_unique<la::DenseLu>(coarse_a_);
+  if (opt_.smoother == Smoother::kChebyshev) {
+    for (Level& L : levels_) {
+      L.diag = L.a.diagonal();
+      const double rho =
+          estimate_rho_dinv_a(L.a, L.diag, opt_.cheby_power_its);
+      L.eig_min = opt_.cheby_lower * rho;
+      L.eig_max = opt_.cheby_upper * rho;
+    }
+  }
   // Scratch for every level.
   scratch_r_.resize(levels_.size() + 1);
   scratch_x_.resize(levels_.size() + 1);
@@ -189,8 +213,14 @@ void Amg::cycle(std::size_t lvl, std::span<const double> b,
     return;
   }
   const Level& L = levels_[lvl];
-  for (int s = 0; s < opt_.pre_smooth; ++s)
-    gauss_seidel(L.a, b, x, /*forward=*/true);
+  const auto smooth = [&](bool forward) {
+    if (opt_.smoother == Smoother::kChebyshev)
+      chebyshev(L.a, L.diag, b, x, L.eig_min, L.eig_max, opt_.cheby_degree,
+                L.cheb);
+    else
+      gauss_seidel(L.a, b, x, forward);
+  };
+  for (int s = 0; s < opt_.pre_smooth; ++s) smooth(/*forward=*/true);
   // Residual and restriction.
   std::vector<double>& res = scratch_r_[lvl];
   L.a.matvec(x, res);
@@ -203,8 +233,7 @@ void Amg::cycle(std::size_t lvl, std::span<const double> b,
   std::vector<double>& corr = scratch_x_[lvl];
   L.p.matvec(xc, corr);
   for (std::size_t i = 0; i < corr.size(); ++i) x[i] += corr[i];
-  for (int s = 0; s < opt_.post_smooth; ++s)
-    gauss_seidel(L.a, b, x, /*forward=*/false);
+  for (int s = 0; s < opt_.post_smooth; ++s) smooth(/*forward=*/false);
 }
 
 void Amg::vcycle(std::span<const double> b, std::span<double> x) const {

@@ -14,12 +14,31 @@
 
 namespace alps::amg {
 
+/// Smoother choice for both the replicated and the distributed hierarchy.
+/// Hybrid Gauss-Seidel is the sequential-sweep default; Chebyshev is a
+/// polynomial in D^{-1}A whose only communication is the ghost-exchange
+/// matvec, so a distributed application has no rank-order dependence.
+enum class Smoother {
+  kHybridGS,
+  kChebyshev,
+};
+
 struct AmgOptions {
   double strength_theta = 0.25;  // classical strength threshold
   int max_levels = 25;
   std::int64_t coarse_size = 64;  // direct solve at or below this
   int pre_smooth = 1;
   int post_smooth = 1;
+  Smoother smoother = Smoother::kHybridGS;
+  /// Chebyshev polynomial degree (matvecs per smoother application).
+  int cheby_degree = 3;
+  /// Power-iteration steps for the spectral-radius estimate of D^{-1}A.
+  int cheby_power_its = 10;
+  /// Smoothing interval [cheby_lower * rho, cheby_upper * rho] around the
+  /// estimated spectral radius rho; the upper safety factor absorbs the
+  /// power-iteration underestimate.
+  double cheby_lower = 0.30;
+  double cheby_upper = 1.10;
   /// When set, solve() measures ||r_k|| / ||r_{k-1}|| per V-cycle (one
   /// extra fine-level matvec each) and keeps it in convergence_factors().
   bool track_convergence = false;
@@ -61,6 +80,10 @@ class Amg {
     la::Csr a;
     la::Csr p;  // prolongation to this level from the next-coarser one
     la::Csr r;  // restriction (P^T)
+    // Chebyshev smoother data (filled only with Smoother::kChebyshev).
+    std::vector<double> diag;
+    double eig_min = 0.0, eig_max = 0.0;
+    mutable ChebyWork cheb;
   };
 
   void cycle(std::size_t lvl, std::span<const double> b,

@@ -6,13 +6,20 @@
 //    subgraph (hypre-style per-processor classical coarsening, identical
 //    to the replicated hierarchy at P = 1),
 //  - direct interpolation may pull from ghost C points, whose coarse ids
-//    arrive through the matrix's ghost-exchange plan,
-//  - the Galerkin product A_c = P^T A P is formed from owned rows plus
-//    fetched ghost rows of P, with off-owner coarse triplets routed to
-//    their owners (one alltoallv per level, setup only),
-//  - smoothing is hybrid Gauss-Seidel: Gauss-Seidel on the owned-column
-//    block, Jacobi on the ghost-column contributions (frozen at the
-//    sweep-start halo values) — the standard parallel compromise,
+//    arrive through the matrix's ghost-exchange plan; strong-neighbor
+//    membership is tested through epoch-stamped marks (O(1) per entry),
+//  - the Galerkin product A_c = P^T A P is a two-pass sparse triple
+//    product: a symbolic pass computes the coarse pattern and a reusable
+//    RapPlan (per-row scatter lists, P^T transposes, off-owner routing),
+//    and a numeric pass writes values into the preallocated coarse CSR
+//    with one value-only alltoallv per level — linear in nnz,
+//  - because C/F split, P, and the RAP pattern depend only on the mesh,
+//    refresh_numeric() re-runs just the numeric passes when the operator
+//    values change (viscosity updates between Picard iterations and
+//    non-adapting timesteps), skipping the entire symbolic setup,
+//  - smoothing is hybrid Gauss-Seidel (Gauss-Seidel on the owned-column
+//    block, Jacobi on frozen ghosts) or a Chebyshev polynomial in
+//    D^{-1}A, whose only communication is the ghost-exchange matvec,
 //  - only the coarsest level (<= coarse_size unknowns) is replicated for
 //    the dense LU solve; its per-cycle gather is O(coarse_size).
 
@@ -28,6 +35,13 @@ class DistAmg {
  public:
   /// Setup phase; collective. Reuses AmgOptions from the replicated Amg.
   DistAmg(par::Comm& comm, la::DistCsr a, const AmgOptions& opt = {});
+
+  /// Pattern-preserving numeric rebuild: replace the finest operator with
+  /// `a` (same sparsity structure as the setup matrix) and recompute the
+  /// coarse operators through the cached RAP plans — C/F split, P, and
+  /// every symbolic structure are reused. One value-only alltoallv per
+  /// level. Collective.
+  void refresh_numeric(par::Comm& comm, la::DistCsr a);
 
   /// One V-cycle on A x = b over *owned* entries (b, x: owned_rows of the
   /// finest matrix). Collective.
@@ -46,6 +60,14 @@ class DistAmg {
 
   int num_levels() const { return static_cast<int>(stats_.size()); }
   const std::vector<LevelStats>& level_stats() const { return stats_; }
+  /// Distributed operator of grid level `lvl` (0 = finest; the last one,
+  /// lvl == num_grid_levels()-1, is the distributed coarsest matrix).
+  const la::DistCsr& matrix(int lvl) const;
+  /// Prolongation from grid level `lvl`+1 to `lvl`.
+  const la::DistCsr& prolongation(int lvl) const {
+    return levels_[static_cast<std::size_t>(lvl)].p;
+  }
+  int num_grid_levels() const { return static_cast<int>(levels_.size()) + 1; }
   /// This rank's matrix storage across all levels (diag + offd blocks,
   /// plus the replicated coarsest level).
   std::int64_t local_nnz() const;
@@ -54,18 +76,76 @@ class DistAmg {
   const la::DistCsr& finest() const { return levels_.empty() ? coarse_dist_ : levels_.front().a; }
 
  private:
+  /// Cached structure of one level's Galerkin product A_c = P^T A P. The
+  /// symbolic pass fills it once; the numeric pass replays it whenever
+  /// the operator values change. All P data (owned and fetched ghost
+  /// rows) is frozen here because interpolation survives value updates.
+  struct RapPlan {
+    // Compact coarse-column space: sorted global coarse gids reachable
+    // from this rank's rows of A P; all scatter work uses these indices.
+    std::vector<std::int64_t> ccol_gids;
+    // P rows over compact columns: owned fine rows, then the fetched
+    // rows of ghost fine points (static, fetched once at setup).
+    std::vector<std::int64_t> prow_ptr, gprow_ptr;
+    std::vector<std::int32_t> prow_col, gprow_col;
+    std::vector<double> prow_val, gprow_val;
+    // Pattern of A P per owned fine row (compact columns).
+    std::vector<std::int64_t> ap_ptr;
+    std::vector<std::int32_t> ap_col;
+    // P^T: (fine row, weight) lists per owned coarse row (pt) and per
+    // ghost coarse column, whose coarse row lives on another rank (gpt).
+    std::vector<std::int64_t> pt_ptr, gpt_ptr;
+    std::vector<std::int32_t> pt_row, gpt_row;
+    std::vector<double> pt_w, gpt_w;
+    // Output patterns in the exact order of the numeric pass. Local rows
+    // write through encoded positions into the coarse matrix (pos >= 0:
+    // diag value index; pos < 0: offd index -pos-1); remote rows are
+    // packed per destination rank and routed with one alltoallv.
+    std::vector<std::int64_t> lr_ptr;
+    std::vector<std::int32_t> lr_ccol;
+    std::vector<std::int64_t> lr_pos;
+    std::vector<std::int64_t> rc_ptr;
+    std::vector<std::int32_t> rc_ccol;
+    std::vector<int> rc_dest;  // owner rank per ghost coarse column
+    // Encoded positions for each incoming value, per source rank, in the
+    // sender's packing order.
+    std::vector<std::vector<std::int64_t>> recv_pos;
+    // Numeric workspaces (values of A P; dense scatter accumulator).
+    std::vector<double> ap_val, acc;
+  };
+
   struct Level {
     la::DistCsr a;
     la::DistCsr p;  // prolongation to this level from the next-coarser one
+    RapPlan rap;    // produces the next-coarser operator
+    // Chebyshev smoother data (filled only with Smoother::kChebyshev).
+    std::vector<double> diag;
+    double eig_min = 0.0, eig_max = 0.0;
     // Scratch (mutable via the enclosing const methods).
     mutable std::vector<double> res, bc, xc, ghost;
+    mutable std::vector<double> ch_r, ch_d, ch_t;
   };
+
+  /// Symbolic + first numeric pass: builds `plan` and the coarse operator
+  /// for one level. Collective.
+  void build_rap(par::Comm& comm, const la::DistCsr& a, const la::DistCsr& p,
+                 const std::vector<std::int64_t>& coarse_offsets,
+                 RapPlan& plan, la::DistCsr& ac) const;
+  /// Numeric pass only: recompute the values of `ac` from the current
+  /// values of `a` through `plan`. Collective.
+  void rap_numeric(par::Comm& comm, const la::DistCsr& a, RapPlan& plan,
+                   la::DistCsr& ac) const;
+  /// Replicate the coarsest operator, refactor the dense LU, and (for the
+  /// Chebyshev smoother) re-estimate the per-level spectral radii.
+  void finalize_values(par::Comm& comm);
 
   void cycle(par::Comm& comm, std::size_t lvl, std::span<const double> b,
              std::span<double> x) const;
   void hybrid_gauss_seidel(par::Comm& comm, const Level& L,
                            std::span<const double> b, std::span<double> x,
                            bool forward) const;
+  void chebyshev_smooth(par::Comm& comm, const Level& L,
+                        std::span<const double> b, std::span<double> x) const;
 
   AmgOptions opt_;
   std::vector<Level> levels_;

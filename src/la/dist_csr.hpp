@@ -161,6 +161,10 @@ class DistCsr {
   const std::vector<std::int64_t>& col_offsets() const { return col_offsets_; }
   const Csr& diag() const { return diag_; }
   const Csr& offd() const { return offd_; }
+  /// Mutable value arrays (pattern-preserving numeric updates only, e.g.
+  /// the cached Galerkin refresh of the AMG hierarchy).
+  std::vector<double>& diag_values() { return diag_.values(); }
+  std::vector<double>& offd_values() { return offd_.values(); }
   const std::vector<std::int64_t>& ghost_gids() const { return ghost_gids_; }
   const GhostExchange& plan() const { return plan_; }
 

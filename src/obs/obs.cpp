@@ -197,6 +197,18 @@ CounterId amg_vcycles() {
   static const CounterId id = counter("amg.vcycles");
   return id;
 }
+CounterId amg_setup_full() {
+  static const CounterId id = counter("amg.setup.full");
+  return id;
+}
+CounterId amg_setup_numeric() {
+  static const CounterId id = counter("amg.setup.numeric");
+  return id;
+}
+CounterId amg_setup_skipped() {
+  static const CounterId id = counter("amg.setup.skipped");
+  return id;
+}
 }  // namespace wellknown
 
 std::vector<std::pair<std::string, std::uint64_t>> aggregate_counters() {

@@ -144,6 +144,12 @@ CounterId ghost_exchange_bytes();
 CounterId minres_iterations();
 CounterId cg_iterations();
 CounterId amg_vcycles();
+/// Hierarchy-reuse outcomes per StokesSolver construction (see
+/// amg::HierarchyCache): full symbolic setup / numeric-only RAP refresh /
+/// setup skipped entirely under the viscosity-drift tolerance.
+CounterId amg_setup_full();
+CounterId amg_setup_numeric();
+CounterId amg_setup_skipped();
 }  // namespace wellknown
 
 /// Sum each counter across all rank slots; sorted by name, zero-valued

@@ -6,6 +6,7 @@ World::World(int size)
     : size_(size),
       mailboxes_(static_cast<std::size_t>(size)),
       barrier_(size),
+      a2a_epoch_(static_cast<std::size_t>(size), 0),
       stage_(static_cast<std::size_t>(size), nullptr),
       stage_sizes_(static_cast<std::size_t>(size), 0) {
   if (size < 1) throw std::invalid_argument("par::World: size must be >= 1");

@@ -110,6 +110,11 @@ class World {
   int size_;
   std::vector<detail::Mailbox> mailboxes_;
   std::barrier<> barrier_;
+  // Per-rank alltoallv round counter. alltoallv is collective, so every
+  // rank's own counter agrees at matching calls; folding it into the
+  // message tag keeps successive rounds from interleaving without a
+  // trailing barrier (each rank only touches its own slot).
+  std::vector<std::uint64_t> a2a_epoch_;
   // Staging area for shared-memory collectives. Each rank deposits a
   // pointer to its contribution; two barrier phases separate publish
   // and read so slots can be reused immediately afterwards.
@@ -281,17 +286,24 @@ class Comm {
       throw std::runtime_error("par::Comm::alltoallv: need one buffer per rank");
     OBS_COMM_SPAN("par.alltoallv");
     world_->stats_.alltoall_calls++;
+    // Tag this round with the per-communicator epoch: senders and
+    // receivers agree on it because alltoallv is collective, and a
+    // message from round k can never match a recv of round k+1, so no
+    // barrier is needed between successive rounds.
+    const std::uint64_t epoch =
+        world_->a2a_epoch_[static_cast<std::size_t>(rank_)]++;
+    const int tag =
+        kAlltoallTag | static_cast<int>((epoch & 0x7fffu) << 16);
     for (int d = 0; d < size(); ++d)
       if (d != rank_) {
         world_->stats_.alltoall_bytes +=
             sendbufs[static_cast<std::size_t>(d)].size() * sizeof(T);
-        send(d, kAlltoallTag, sendbufs[d]);
+        send(d, tag, sendbufs[d]);
       }
     std::vector<std::vector<T>> out(size());
     out[rank_] = sendbufs[rank_];
     for (int s = 0; s < size(); ++s)
-      if (s != rank_) out[s] = recv<T>(s, kAlltoallTag);
-    barrier();  // keep successive alltoallv rounds from interleaving
+      if (s != rank_) out[s] = recv<T>(s, tag);
     return out;
   }
 

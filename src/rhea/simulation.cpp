@@ -74,6 +74,7 @@ std::int64_t Simulation::global_elements() const {
 void Simulation::initialize(
     const std::function<double(const std::array<double, 3>&)>& t0) {
   mesh_ = mesh::extract_mesh(*comm_, forest_);
+  amg_cache_.bump_epoch();
   temperature_ = fem::interpolate(mesh_, t0);
 
   // Resolve the initial condition: a few mark/adapt/extract rounds where
@@ -94,6 +95,7 @@ void Simulation::initialize(
     forest_.balance(*comm_);
     forest_.partition(*comm_);
     mesh_ = mesh::extract_mesh(*comm_, forest_);
+    amg_cache_.bump_epoch();
     temperature_ = fem::interpolate(mesh_, t0);
   }
   solution_.assign(static_cast<std::size_t>(mesh_.n_local) * 4, 0.0);
@@ -119,7 +121,7 @@ void Simulation::update_velocity() {
   // callers outside a rank context.
   last_stokes_ = stokes::solve_nonlinear_stokes(
       *comm_, mesh_, forest_.connectivity(), cfg_.law, temperature_,
-      solution_, cfg_.picard);
+      solution_, cfg_.picard, &amg_cache_);
 }
 
 void Simulation::extract_and_rebuild(std::span<const double> element_temps) {
@@ -127,6 +129,7 @@ void Simulation::extract_and_rebuild(std::span<const double> element_temps) {
     OBS_PHASE_SPAN("amr.extract_mesh");
     mesh_ = mesh::extract_mesh(*comm_, forest_);
   }
+  amg_cache_.bump_epoch();  // new mesh: every cached AMG structure is stale
   temperature_ = mesh::from_element_values(*comm_, mesh_, element_temps);
   solution_.assign(static_cast<std::size_t>(mesh_.n_local) * 4, 0.0);
   energy_.reset();

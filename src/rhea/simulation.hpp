@@ -153,6 +153,9 @@ class Simulation {
   std::vector<AdaptationStats> adapt_history_;
   // Cached SUPG operator; invalidated when the mesh or velocity changes.
   std::unique_ptr<energy::EnergySolver> energy_;
+  // AMG hierarchies shared across Picard iterations and non-adapting
+  // timesteps; its epoch is bumped on every mesh rebuild.
+  amg::HierarchyCache amg_cache_;
 };
 
 }  // namespace alps::rhea

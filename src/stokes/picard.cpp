@@ -84,14 +84,19 @@ PicardResult solve_nonlinear_stokes(par::Comm& comm, const Mesh& m,
                                     const ViscosityLaw& law,
                                     std::span<const double> temperature,
                                     std::span<double> x,
-                                    const PicardOptions& opt) {
+                                    const PicardOptions& opt,
+                                    amg::HierarchyCache* cache) {
   PicardResult result;
   const std::size_t nl = static_cast<std::size_t>(m.n_local);
   std::vector<double> prev(x.begin(), x.end());
+  // Without a caller-owned cache, a loop-local one still reuses the
+  // hierarchy structure across Picard iterations (same mesh throughout).
+  amg::HierarchyCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
   for (int it = 0; it < opt.max_iterations; ++it) {
     const std::vector<double> eta =
         evaluate_viscosity(m, conn, law, temperature, x);
-    StokesSolver solver(comm, m, conn, eta, opt.stokes);
+    StokesSolver solver(comm, m, conn, eta, opt.stokes, cache);
     const std::vector<double> rhs = StokesSolver::buoyancy_rhs(
         comm, m, conn, temperature, opt.rayleigh, opt.buoyancy_dir,
         opt.stokes);
@@ -101,6 +106,7 @@ PicardResult solve_nonlinear_stokes(par::Comm& comm, const Mesh& m,
     result.timings.amg_setup_seconds += t.amg_setup_seconds;
     result.timings.amg_apply_seconds += t.amg_apply_seconds;
     result.timings.minres_seconds += t.minres_seconds;
+    result.iteration_timings.push_back(t);
     result.iterations = it + 1;
 
     // Relative change of velocity (owned entries).

@@ -27,6 +27,9 @@ struct PicardResult {
   double velocity_change = 0.0;
   std::vector<la::SolveResult> solves;
   StokesTimings timings;  // accumulated over all iterations
+  /// Per-iteration breakdown: with hierarchy reuse, amg_setup_seconds of
+  /// iterations >= 2 collapses to the numeric Galerkin refresh.
+  std::vector<StokesTimings> iteration_timings;
 };
 
 /// Second invariant of the strain rate at each quadrature point (ne * 8)
@@ -44,11 +47,15 @@ std::vector<double> evaluate_viscosity(const Mesh& m,
                                        std::span<const double> x);
 
 /// Nonlinear Stokes solve; x (4*n_local) is the initial guess and result.
+/// `cache` carries the AMG hierarchies across iterations (and, when the
+/// caller owns it, across timesteps); when null, a loop-local cache still
+/// amortizes the symbolic setup over iterations >= 2.
 PicardResult solve_nonlinear_stokes(par::Comm& comm, const Mesh& m,
                                     const forest::Connectivity& conn,
                                     const ViscosityLaw& law,
                                     std::span<const double> temperature,
                                     std::span<double> x,
-                                    const PicardOptions& opt);
+                                    const PicardOptions& opt,
+                                    amg::HierarchyCache* cache = nullptr);
 
 }  // namespace alps::stokes

@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "amg/dist_amg.hpp"
+#include "amg/hierarchy_cache.hpp"
 #include "fem/operators.hpp"
 #include "la/krylov.hpp"
 
@@ -37,10 +38,23 @@ enum class VelocityBc {
   kNoSlip,    // u = 0 on every physical face
 };
 
+/// Hierarchy-reuse policy when a HierarchyCache is supplied: a valid
+/// cache (same mesh epoch) skips the symbolic AMG setup and runs the
+/// numeric Galerkin refresh only; with a positive drift tolerance, a
+/// relative viscosity change ||eta - eta_built|| / ||eta_built|| at or
+/// below it skips even that and reuses the hierarchy untouched. The
+/// preconditioner then lags the viscosity, which is safe: MINRES always
+/// iterates with the freshly assembled operator.
+struct AmgReuseOptions {
+  bool enable = true;
+  double viscosity_drift_tol = 0.0;  // 0 = always refresh numerically
+};
+
 struct StokesOptions {
   VelocityBc bc = VelocityBc::kFreeSlip;
   la::KrylovOptions krylov{200, 1e-6};
   amg::AmgOptions amg{};
+  AmgReuseOptions reuse{};
 };
 
 struct StokesTimings {
@@ -54,10 +68,13 @@ class StokesSolver {
  public:
   /// Viscosity is supplied per element per quadrature point (ne * 8).
   /// Setup assembles the saddle operator, the three Poisson AMG
-  /// hierarchies, and the inverse-viscosity Schur diagonal. Collective.
+  /// hierarchies, and the inverse-viscosity Schur diagonal. When `cache`
+  /// is non-null and valid for the current mesh epoch, the hierarchies in
+  /// it are reused per opt.reuse instead of being rebuilt. Collective.
   StokesSolver(par::Comm& comm, const Mesh& m,
                const forest::Connectivity& conn,
-               std::span<const double> eta_quad, const StokesOptions& opt);
+               std::span<const double> eta_quad, const StokesOptions& opt,
+               amg::HierarchyCache* cache = nullptr);
 
   /// Solve with the given right-hand side (4*n_local, ghost-consistent;
   /// pressure rows typically zero). x holds the initial guess on entry
@@ -67,11 +84,13 @@ class StokesSolver {
 
   const ElementOperator& op() const { return *op_; }
   const StokesTimings& timings() const { return timings_; }
-  const amg::DistAmg& velocity_amg(int comp) const { return *amg_[static_cast<std::size_t>(comp)]; }
+  const amg::DistAmg& velocity_amg(int comp) const {
+    return *cache_->amg[static_cast<std::size_t>(comp)];
+  }
   /// This rank's matrix storage across the three velocity AMG hierarchies.
   std::int64_t local_amg_nnz() const {
     std::int64_t total = 0;
-    for (const auto& a : amg_) total += a->local_nnz();
+    for (const auto& a : cache_->amg) total += a->local_nnz();
     return total;
   }
 
@@ -91,7 +110,8 @@ class StokesSolver {
   StokesOptions opt_;
   std::unique_ptr<ElementOperator> op_;          // 4-comp saddle operator
   std::array<std::unique_ptr<ElementOperator>, 3> poisson_;
-  std::array<std::unique_ptr<amg::DistAmg>, 3> amg_;  // owned-row hierarchies
+  amg::HierarchyCache own_cache_;   // used when no external cache is given
+  amg::HierarchyCache* cache_;      // holds the three velocity hierarchies
   std::vector<double> schur_diag_;               // n_local, 1/eta-weighted
   std::vector<double> comp_b_, comp_x_;          // owned-slice workspaces
   StokesTimings timings_;

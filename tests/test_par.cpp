@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "par/runtime.hpp"
 
@@ -97,6 +99,42 @@ TEST_P(ParRanks, AlltoallvRoutesPersonalizedBuffers) {
       EXPECT_EQ(got[static_cast<std::size_t>(s)][0], s * 1000 + c.rank());
     }
   });
+}
+
+TEST_P(ParRanks, BackToBackAlltoallvRoundsStaySeparated) {
+  // Successive alltoallv rounds are separated by per-rank epoch tags, not
+  // a trailing barrier, so a fast rank may enter round k+1 while a slow
+  // one is still draining round k — the payloads must never mix.
+  alps::par::run(GetParam(), [](Comm& c) {
+    const int p = c.size();
+    for (int round = 0; round < 64; ++round) {
+      if ((round + c.rank()) % 3 == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      std::vector<std::vector<int>> send(static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d)
+        send[static_cast<std::size_t>(d)] = {round * 10000 + c.rank() * 100 + d};
+      const auto got = c.alltoallv(send);
+      ASSERT_EQ(static_cast<int>(got.size()), p);
+      for (int s = 0; s < p; ++s) {
+        ASSERT_EQ(got[static_cast<std::size_t>(s)].size(), 1u);
+        EXPECT_EQ(got[static_cast<std::size_t>(s)][0],
+                  round * 10000 + s * 100 + c.rank());
+      }
+    }
+  });
+}
+
+TEST(ParStats, AlltoallvPerformsNoBarrier) {
+  // The epoch-tagged rounds replaced the trailing barrier; alltoallv must
+  // not show up in the barrier counter any more.
+  CommStats s = alps::par::run(4, [](Comm& c) {
+    std::vector<std::vector<int>> send(4);
+    send[static_cast<std::size_t>((c.rank() + 1) % 4)] = {1, 2, 3};
+    c.alltoallv(send);
+    c.alltoallv(send);
+  });
+  EXPECT_EQ(s.alltoall_calls, 8u);
+  EXPECT_EQ(s.barrier_calls, 0u);
 }
 
 TEST_P(ParRanks, RepeatedCollectivesDoNotInterleave) {

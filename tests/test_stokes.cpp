@@ -197,6 +197,58 @@ TEST(Picard, YieldingLawConverges) {
   });
 }
 
+TEST(Picard, HierarchyCacheReusesSetupAcrossIterationsAndSolves) {
+  alps::par::run(2, [](Comm& c) {
+    Forest f = Forest::new_uniform(c, Connectivity::unit_cube(), 2);
+    Mesh m = extract_mesh(c, f);
+    const std::vector<double> t = fem::interpolate(m, blob_t);
+    stokes::PicardOptions popt;
+    popt.max_iterations = 4;
+    popt.tolerance = 1e-12;  // force several iterations
+    popt.rayleigh = 1e4;
+    popt.stokes.krylov.max_iterations = 300;
+    rhea::YieldingLawOptions yopt;
+    yopt.sigma_y = 10.0;
+    amg::HierarchyCache cache;
+    std::vector<double> x(static_cast<std::size_t>(m.n_local) * 4, 0.0);
+    stokes::PicardResult r = stokes::solve_nonlinear_stokes(
+        c, m, f.connectivity(), rhea::three_layer_yielding(yopt), t, x, popt,
+        &cache);
+    ASSERT_GE(r.iterations, 2);
+    // Deterministic reuse accounting: exactly one symbolic setup, every
+    // later iteration a numeric-only refresh.
+    EXPECT_EQ(cache.stats.full_setups, 1);
+    EXPECT_EQ(cache.stats.numeric_refreshes,
+              static_cast<std::int64_t>(r.iterations) - 1);
+    EXPECT_EQ(cache.stats.skipped, 0);
+    ASSERT_EQ(r.iteration_timings.size(),
+              static_cast<std::size_t>(r.iterations));
+
+    // A second solve on the same mesh reuses the structure too: no new
+    // symbolic setup, one more numeric refresh per iteration.
+    stokes::PicardResult rb = stokes::solve_nonlinear_stokes(
+        c, m, f.connectivity(), rhea::three_layer_yielding(yopt), t, x, popt,
+        &cache);
+    EXPECT_EQ(cache.stats.full_setups, 1);
+    EXPECT_EQ(cache.stats.numeric_refreshes,
+              static_cast<std::int64_t>(r.iterations + rb.iterations) - 1);
+
+    // A large drift tolerance turns every reuse into a full skip.
+    cache.bump_epoch();
+    stokes::PicardOptions lazy = popt;
+    lazy.stokes.reuse.viscosity_drift_tol = 1e9;
+    stokes::PicardResult r2 = stokes::solve_nonlinear_stokes(
+        c, m, f.connectivity(), rhea::three_layer_yielding(yopt), t, x, lazy,
+        &cache);
+    EXPECT_EQ(cache.stats.full_setups, 2);
+    EXPECT_EQ(cache.stats.skipped, static_cast<std::int64_t>(r2.iterations) - 1);
+
+    // Epoch bump invalidates: the next solve must rebuild from scratch.
+    cache.bump_epoch();
+    EXPECT_FALSE(cache.valid());
+  });
+}
+
 TEST(Viscosity, ThreeLayerLawMatchesPaper) {
   rhea::YieldingLawOptions opt;
   opt.sigma_y = 1.0;
