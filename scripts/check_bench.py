@@ -1,11 +1,22 @@
 #!/usr/bin/env python3
-"""Gate the AMG setup-cost scaling recorded by bench_amg_setup.
+"""Gate machine-readable BENCH_*.json results in CI.
 
-The two-pass Galerkin setup is linear in nnz, so the per-nonzero setup
-cost must stay flat as the problem grows. This script fails (exit 1)
-when the highest-level setup_ns_per_nnz exceeds --max-ratio times the
-lowest-level value, which is how CI catches a superlinear regression
-(e.g. reintroducing a scan or a per-entry hash map on the setup path).
+Two schemas are understood, detected from the file contents:
+
+bench_amg_setup (cases[].setup_ns_per_nnz): the two-pass Galerkin setup
+is linear in nnz, so the per-nonzero setup cost must stay flat as the
+problem grows. Fails when the highest-level setup_ns_per_nnz exceeds
+--max-ratio times the lowest-level value, which is how CI catches a
+superlinear regression (e.g. reintroducing a scan or a per-entry hash
+map on the setup path).
+
+bench_apply (cases[].speedup + solvers[]): the batched SoA apply must
+beat the scalar reference by --min-speedup on its best case (the
+Stokes-shaped 4-component operator) with no case regressing below 1x
+by more than the noise floor; the reduced-synchronization Krylov loops
+must issue at most --max-sync reductions per iteration and the fused
+multi-value reductions must not change iteration counts by more than
+--max-iter-delta versus one-reduction-per-dot.
 """
 
 import argparse
@@ -13,26 +24,11 @@ import json
 import sys
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("bench_json", nargs="?", default="BENCH_amg_setup.json",
-                    help="bench output file (default: BENCH_amg_setup.json)")
-    ap.add_argument("--max-ratio", type=float, default=3.0,
-                    help="highest-vs-lowest level setup_ns_per_nnz bound")
-    args = ap.parse_args()
-
-    try:
-        with open(args.bench_json, encoding="utf-8") as f:
-            data = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"check_bench: cannot read {args.bench_json}: {e}")
-        return 1
-
+def check_amg_setup(data, args) -> int:
     cases = [c for c in data.get("cases", [])
              if "setup_ns_per_nnz" in c and "level" in c]
     if len(cases) < 2:
-        print(f"check_bench: need at least two levels in {args.bench_json}, "
-              f"got {len(cases)}")
+        print(f"check_bench: need at least two levels, got {len(cases)}")
         return 1
 
     lo = min(cases, key=lambda c: c["level"])
@@ -51,6 +47,80 @@ def main() -> int:
           f"setup_ns_per_nnz ratio = {ratio:.2f} "
           f"(max allowed {args.max_ratio:.2f}): {verdict}")
     return 0 if ratio <= args.max_ratio else 1
+
+
+def check_apply(data, args) -> int:
+    ok = True
+    cases = [c for c in data.get("cases", []) if "speedup" in c]
+    if not cases:
+        print("check_bench: no apply cases found")
+        return 1
+    for c in cases:
+        print(f"  ncomp={c.get('ncomp', '?')}: scalar "
+              f"{c.get('scalar_ns_per_element', 0):.1f} ns/el, batched "
+              f"{c.get('batched_ns_per_element', 0):.1f} ns/el, "
+              f"speedup {c['speedup']:.2f}x")
+        if c["speedup"] < args.min_case_speedup:
+            print(f"check_bench: FAIL ncomp={c.get('ncomp', '?')} regressed "
+                  f"below {args.min_case_speedup:.2f}x")
+            ok = False
+    best = max(c["speedup"] for c in cases)
+    verdict = "PASS" if best >= args.min_speedup else "FAIL"
+    print(f"check_bench: best apply speedup = {best:.2f}x "
+          f"(min required {args.min_speedup:.2f}): {verdict}")
+    ok = ok and best >= args.min_speedup
+
+    solvers = data.get("solvers", [])
+    if not solvers:
+        print("check_bench: FAIL no solver sync records")
+        return 1
+    for s in solvers:
+        name = s.get("solver", "?")
+        per = s.get("sync_per_iter", 1e9)
+        delta = abs(s.get("iters_fused", 0) - s.get("iters_reference", 0))
+        line_ok = per <= args.max_sync and delta <= args.max_iter_delta
+        print(f"  {name}: {s.get('iters_fused', '?')} iters, "
+              f"{per:.3f} syncs/iter (max {args.max_sync:.1f}), "
+              f"fused-vs-reference iteration delta {delta} "
+              f"(max {args.max_iter_delta}): "
+              f"{'PASS' if line_ok else 'FAIL'}")
+        ok = ok and line_ok
+    return 0 if ok else 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json", nargs="?", default="BENCH_amg_setup.json",
+                    help="bench output file (default: BENCH_amg_setup.json)")
+    ap.add_argument("--max-ratio", type=float, default=3.0,
+                    help="amg_setup: highest-vs-lowest level ns/nnz bound")
+    ap.add_argument("--min-speedup", type=float, default=2.0,
+                    help="apply: required best-case batched-vs-scalar speedup")
+    ap.add_argument("--min-case-speedup", type=float, default=0.9,
+                    help="apply: per-case floor (no real regression; 0.9 "
+                    "leaves room for timer noise on small operators)")
+    ap.add_argument("--max-sync", type=float, default=2.0,
+                    help="apply: max Krylov synchronization rounds per "
+                    "iteration")
+    ap.add_argument("--max-iter-delta", type=int, default=2,
+                    help="apply: max fused-vs-reference iteration count "
+                    "difference")
+    args = ap.parse_args()
+
+    try:
+        with open(args.bench_json, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {args.bench_json}: {e}")
+        return 1
+
+    cases = data.get("cases", [])
+    if any("speedup" in c for c in cases):
+        return check_apply(data, args)
+    if any("setup_ns_per_nnz" in c for c in cases):
+        return check_amg_setup(data, args)
+    print(f"check_bench: unrecognized schema in {args.bench_json}")
+    return 1
 
 
 if __name__ == "__main__":

@@ -181,7 +181,11 @@ Amg::Amg(la::Csr a, const AmgOptions& opt) : opt_(opt) {
     if (p.cols() == 0 || p.cols() >= cur.rows()) break;  // no coarsening
     la::Csr r = p.transpose();
     la::Csr ac = la::Csr::multiply(r, la::Csr::multiply(cur, p));
-    levels_.push_back(Level{std::move(cur), std::move(p), std::move(r)});
+    Level next;
+    next.a = std::move(cur);
+    next.p = std::move(p);
+    next.r = std::move(r);
+    levels_.push_back(std::move(next));
     cur = std::move(ac);
   }
   coarse_a_ = std::move(cur);

@@ -5,6 +5,18 @@
 // strategy the paper describes. Dirichlet conditions are eliminated
 // symmetrically (identity rows/columns).
 //
+// The Krylov hot path runs through a lane-batched SoA plan built lazily
+// from the mesh: elements are sorted into boundary (touching a ghost dof)
+// and interior sets, packed kLanes at a time with lane-interleaved
+// element matrices and flattened gather/scatter index+weight tables (the
+// Dirichlet mask folded into the weights), so the inner dense matvec
+// vectorizes across lanes without FP reassociation. apply() computes the
+// boundary elements first, posts the ghost accumulate, and streams the
+// interior elements while the neighbor messages are in flight
+// (mesh::accumulate_start/finish). The original scalar path is kept as
+// apply_scalar()/apply_raw_scalar() — the parity reference and the
+// bench_apply baseline.
+//
 // Multi-component fields use node-major layout: value index =
 // local_dof * ncomp + component.
 
@@ -20,6 +32,9 @@ namespace alps::fem {
 
 class ElementOperator {
  public:
+  /// Elements per SIMD batch of the SoA apply plan.
+  static constexpr std::size_t kLanes = 4;
+
   ElementOperator(const mesh::Mesh* m, int ncomp)
       : mesh_(m), ncomp_(ncomp),
         mats_(m->elements.size() * block_size() * block_size(), 0.0),
@@ -29,8 +44,10 @@ class ElementOperator {
   std::size_t block_size() const { return 8 * static_cast<std::size_t>(ncomp_); }
   const mesh::Mesh& mesh() const { return *mesh_; }
 
-  /// Mutable element matrix block e, row-major (8*ncomp)^2.
+  /// Mutable element matrix block e, row-major (8*ncomp)^2. Invalidates
+  /// the batched apply plan (rebuilt lazily on the next apply).
   std::span<double> element_matrix(std::size_t e) {
+    plan_dirty_ = true;
     const std::size_t b = block_size() * block_size();
     return std::span<double>(mats_).subspan(e * b, b);
   }
@@ -41,6 +58,7 @@ class ElementOperator {
 
   /// Mark value (dof, comp) as Dirichlet-constrained.
   void set_dirichlet(std::int64_t dof, int comp) {
+    plan_dirty_ = true;
     dirichlet_[static_cast<std::size_t>(dof) * ncomp_ +
                static_cast<std::size_t>(comp)] = 1;
   }
@@ -50,17 +68,34 @@ class ElementOperator {
   }
 
   /// y = A x with Dirichlet rows acting as identity. x must be ghost-
-  /// consistent; y comes back ghost-consistent. Collective.
+  /// consistent; y comes back ghost-consistent. Collective. Runs the
+  /// batched plan with comm-compute overlap.
   void apply(par::Comm& comm, std::span<const double> x,
              std::span<double> y) const;
 
-  /// y = A x without any boundary handling (used for RHS lifting).
+  /// y = A x without any boundary handling (used for RHS lifting and the
+  /// explicit energy update). Batched + overlapped like apply().
   void apply_raw(par::Comm& comm, std::span<const double> x,
                  std::span<double> y) const;
 
-  /// Globally-consistent inner product over owned values.
+  /// Scalar reference paths: per-element Corner gathers, the O(n)
+  /// Dirichlet masking pass, and a blocking post-loop halo. Bitwise the
+  /// same math as the pre-batching implementation — kept as the parity
+  /// oracle for tests and the ns/element baseline for bench_apply.
+  void apply_scalar(par::Comm& comm, std::span<const double> x,
+                    std::span<double> y) const;
+  void apply_raw_scalar(par::Comm& comm, std::span<const double> x,
+                        std::span<double> y) const;
+
+  /// Globally-consistent inner product over owned values (blocked
+  /// pairwise summation + one allreduce).
   double dot(par::Comm& comm, std::span<const double> a,
              std::span<const double> b) const;
+
+  /// Fused inner products: all pairs reduce in ONE multi-value allreduce.
+  /// This is what the reduced-synchronization Krylov loops call.
+  void multi_dot(par::Comm& comm, std::span<const la::DotPair> pairs,
+                 std::span<double> out) const;
 
   /// Move inhomogeneous boundary values `g` (zero at interior) into the
   /// right-hand side: b -= A g, then b = g on the boundary. Collective.
@@ -91,6 +126,26 @@ class ElementOperator {
       return dot(comm, a, b);
     };
   }
+  la::MultiDotFn as_multi_dot(par::Comm& comm) const {
+    return [this, &comm](std::span<const la::DotPair> pairs,
+                         std::span<double> out) {
+      multi_dot(comm, pairs, out);
+    };
+  }
+
+  /// Interior / boundary element counts of the apply plan (builds the
+  /// plan if needed). An element is boundary when any of its gather slots
+  /// — its own corners or the hanging-constraint masters they resolve to
+  /// — references a ghost dof; only those elements contribute to the
+  /// ghost accumulate, so the interior set streams while it is in flight.
+  std::size_t boundary_elements() const {
+    ensure_plan();
+    return plan_.n_boundary;
+  }
+  std::size_t interior_elements() const {
+    ensure_plan();
+    return plan_.n_interior;
+  }
 
  private:
   void gather_element(std::size_t e, std::span<const double> x,
@@ -100,10 +155,49 @@ class ElementOperator {
 
   std::vector<la::Triplet> local_triplets() const;
 
+  void ensure_plan() const;
+  void build_plan() const;
+  /// Gather + lane-batched matvec + scatter for batches [b0, b1), using
+  /// the BC-masked (apply) or raw (apply_raw) weight table.
+  void run_batches(std::size_t b0, std::size_t b1, const double* weights,
+                   std::span<const double> x, std::span<double> y) const;
+  /// Shared batched + overlapped pipeline behind apply/apply_raw.
+  void apply_batched(par::Comm& comm, const double* weights,
+                     std::span<const double> x, std::span<double> y) const;
+
   const mesh::Mesh* mesh_;
   int ncomp_;
   std::vector<double> mats_;
   std::vector<std::uint8_t> dirichlet_;
+
+  // ---- lane-batched SoA apply plan (DESIGN.md §10) ----------------------
+  // Boundary batches form a prefix so apply can post the ghost accumulate
+  // after [0, boundary_batches) and overlap [boundary_batches, n_batches)
+  // with the messages. Pad lanes carry dof base 0 with zero weights and a
+  // zeroed matrix block, so they contribute exactly nothing.
+  struct Plan {
+    std::size_t n_batches = 0;         // total kLanes-wide batches
+    std::size_t boundary_batches = 0;  // prefix of batches
+    std::size_t n_boundary = 0;        // real (unpadded) element counts
+    std::size_t n_interior = 0;
+    // When every element matrix is (bitwise) symmetric — Laplace, mass,
+    // the stabilized Stokes block — only the upper triangle is stored and
+    // the matvec does 2 FMAs per loaded entry. The apply is memory-bound
+    // on the matrix stream, so packing nearly halves its cost; detection
+    // is exact, nonsymmetric operators (e.g. advection) use the full
+    // layout.
+    bool symmetric = false;
+    std::vector<double> mats;       // full: [batch][i*bs+j][lane];
+                                    // packed: [batch][upper-tri rowwise][lane]
+    std::vector<std::int32_t> gbase;  // [batch][corner*4+slot][lane] = dof*nc
+    std::vector<double> w_raw;      // [batch][(corner*4+slot)*nc+c][lane]
+    std::vector<double> w_bc;       // w_raw with the Dirichlet mask folded in
+    std::vector<std::uint8_t> slots;  // [batch] max constraint fan-in (1..4)
+    std::vector<std::int32_t> owned_dirichlet;  // value idx < n_owned*nc
+  };
+  mutable Plan plan_;
+  mutable bool plan_dirty_ = true;
+
   // Hot-path workspaces (mutable: apply/lift_bcs are logically const and
   // run every MINRES iteration — no per-application allocations).
   mutable std::vector<double> work_x_, work_ax_, work_xe_, work_ye_;

@@ -44,10 +44,9 @@ class Forest {
   }
   void partition(par::Comm& comm,
                  std::span<octree::LeafPayload*> payloads = {},
-                 std::span<const double> weights = {},
-                 octree::PartitionTimings* timings = nullptr) {
+                 std::span<const double> weights = {}) {
     OBS_SPAN("forest.partition");
-    octree::partition(comm, tree_, payloads, weights, timings);
+    octree::partition(comm, tree_, payloads, weights);
   }
 
  private:

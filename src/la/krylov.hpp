@@ -26,6 +26,32 @@ using LinOp = std::function<void(std::span<const double>, std::span<double>)>;
 using DotFn =
     std::function<double(std::span<const double>, std::span<const double>)>;
 
+/// One (a, b) operand pair of a fused inner-product round.
+struct DotPair {
+  std::span<const double> a, b;
+};
+
+/// Compute out[k] = <pairs[k].a, pairs[k].b> for every pair with a single
+/// global synchronization (one multi-value allreduce in the distributed
+/// case). The reduced-synchronization Krylov iterations issue all
+/// independent dot products of a reduction point through one call, so a
+/// CG iteration costs 2 global syncs instead of 3-5.
+using MultiDotFn =
+    std::function<void(std::span<const DotPair>, std::span<double>)>;
+
+/// Lift a scalar DotFn into a MultiDotFn. No fusion happens — each pair
+/// still reduces separately — so this is the compatibility path for
+/// serial dots and existing callers; distributed operators should provide
+/// a genuinely fused implementation (ElementOperator::as_multi_dot).
+MultiDotFn multi_dot_from(DotFn dot);
+
+/// Blocked pairwise (cascaded) summation of sum_i a[i]*b[i]: contiguous
+/// blocks are summed naively, block sums combine pairwise, keeping the
+/// rounding error O(log n) instead of O(n). This makes Krylov residual
+/// histories reproducible across element-batch sizes and rank counts to
+/// tight tolerance where naive left-to-right summation drifts.
+double pairwise_dot(std::span<const double> a, std::span<const double> b);
+
 /// Why a Krylov iteration stopped.
 enum class SolveStatus : std::uint8_t {
   kConverged = 0,      // relative residual dropped below rtol
@@ -125,14 +151,29 @@ class ConvergenceMonitor {
 /// Preconditioned MINRES (Paige & Saunders; implementation follows Elman,
 /// Silvester & Wathen). `precond` must be SPD; pass identity for none.
 /// On entry x is the initial guess; on exit the approximate solution.
+/// Issues 2 global synchronization rounds per iteration through `dots`
+/// (counted in the "comm.sync.minres" obs counter).
 SolveResult minres(const LinOp& op, std::span<const double> b,
                    std::span<double> x, const LinOp& precond,
-                   const DotFn& dot, const KrylovOptions& opt);
+                   const MultiDotFn& dots, const KrylovOptions& opt);
+inline SolveResult minres(const LinOp& op, std::span<const double> b,
+                          std::span<double> x, const LinOp& precond,
+                          const DotFn& dot, const KrylovOptions& opt) {
+  return minres(op, b, x, precond, multi_dot_from(dot), opt);
+}
 
-/// Preconditioned conjugate gradients for SPD systems.
+/// Preconditioned conjugate gradients for SPD systems. The two dot
+/// products following the preconditioner application — <r,r> for the
+/// convergence test and <r,z> for beta — fuse into one reduction, so an
+/// iteration costs 2 global syncs ("comm.sync.cg") instead of 3.
 SolveResult cg(const LinOp& op, std::span<const double> b,
-               std::span<double> x, const LinOp& precond, const DotFn& dot,
-               const KrylovOptions& opt);
+               std::span<double> x, const LinOp& precond,
+               const MultiDotFn& dots, const KrylovOptions& opt);
+inline SolveResult cg(const LinOp& op, std::span<const double> b,
+                      std::span<double> x, const LinOp& precond,
+                      const DotFn& dot, const KrylovOptions& opt) {
+  return cg(op, b, x, precond, multi_dot_from(dot), opt);
+}
 
 /// Convenience identity preconditioner.
 inline LinOp identity_op() {

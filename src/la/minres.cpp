@@ -8,11 +8,23 @@ namespace alps::la {
 
 SolveResult minres(const LinOp& op, std::span<const double> b,
                    std::span<double> x, const LinOp& precond,
-                   const DotFn& dot, const KrylovOptions& opt) {
+                   const MultiDotFn& dots, const KrylovOptions& opt) {
   OBS_SPAN("la.minres");
   const std::size_t n = x.size();
   std::vector<double> v(n), v_old(n, 0.0), v_new(n), z(n), z_new(n);
   std::vector<double> w(n, 0.0), w_old(n, 0.0), w_new(n), az(n);
+  std::uint64_t syncs = 0;
+  // The Lanczos recurrence's two inner products sit on opposite sides of
+  // the preconditioner application, so they cannot fuse; MINRES runs at
+  // exactly 2 synchronization rounds per iteration (the residual estimate
+  // comes from the Givens recurrence, not a third dot).
+  const auto dot = [&](std::span<const double> a2, std::span<const double> b2) {
+    const DotPair pair{a2, b2};
+    double out = 0.0;
+    dots(std::span<const DotPair>(&pair, 1), std::span<double>(&out, 1));
+    ++syncs;
+    return out;
+  };
 
   // v1 = b - A x0, z1 = M v1.
   op(x, az);
@@ -24,6 +36,7 @@ SolveResult minres(const LinOp& op, std::span<const double> b,
   if (!std::isfinite(zv0)) {
     res.status = SolveStatus::kNonFinite;
     mon.finish();
+    obs::counter_add(obs::wellknown::minres_syncs(), syncs);
     return res;
   }
   double gamma = std::sqrt(std::max(0.0, zv0));
@@ -31,6 +44,7 @@ SolveResult minres(const LinOp& op, std::span<const double> b,
   if (norm0 == 0.0) {
     res.status = SolveStatus::kConverged;
     mon.finish();
+    obs::counter_add(obs::wellknown::minres_syncs(), syncs);
     return res;
   }
 
@@ -95,6 +109,7 @@ SolveResult minres(const LinOp& op, std::span<const double> b,
   mon.finish();
   obs::counter_add(obs::wellknown::minres_iterations(),
                    static_cast<std::uint64_t>(res.iterations));
+  obs::counter_add(obs::wellknown::minres_syncs(), syncs);
   return res;
 }
 

@@ -75,6 +75,29 @@ class Mesh {
   void accumulate(par::Comm& comm, std::span<double> values,
                   int ncomp = 1) const;
 
+  // ---- split-phase halo operations ---------------------------------------
+  // accumulate() and exchange() are start + finish back to back. The split
+  // halves let callers hide the neighbor messages behind local work: the
+  // element operator computes its boundary elements, posts the ghost
+  // accumulate with accumulate_start, streams the interior elements while
+  // the messages are in flight, then completes with accumulate_finish.
+  // Sends go over the buffered p2p layer, so *_start returns without
+  // waiting on any other rank; *_finish blocks until the matching messages
+  // arrive. Packing buffers and the neighbor lists are precomputed and
+  // reused — no per-call allocations on the Krylov hot path.
+  //
+  // At most one operation may be in flight per Mesh at a time; misuse
+  // (double start, finish without start, or finishing a different
+  // operation than was started) throws std::logic_error.
+  void accumulate_start(par::Comm& comm, std::span<double> values,
+                        int ncomp = 1) const;
+  void accumulate_finish(par::Comm& comm, std::span<double> values,
+                         int ncomp = 1) const;
+  void exchange_start(par::Comm& comm, std::span<double> values,
+                      int ncomp = 1) const;
+  void exchange_finish(par::Comm& comm, std::span<double> values,
+                       int ncomp = 1) const;
+
   /// Number of local elements.
   std::int64_t num_elements() const {
     return static_cast<std::int64_t>(elements.size());
@@ -86,6 +109,25 @@ class Mesh {
   /// Physical corner positions of element e (z-order), via the geometry.
   std::array<std::array<double, 3>, 8> element_corners_xyz(
       const forest::Connectivity& conn, std::int64_t e) const;
+
+ private:
+  enum class HaloOp : std::uint8_t { kNone, kAccumulate, kExchange };
+
+  void build_halo_plan() const;
+  void check_start(HaloOp op) const;
+  void check_finish(HaloOp op, int ncomp) const;
+
+  // Lazily-built neighbor lists: ranks that own our ghosts (recv_idx
+  // non-empty) and ranks that ghost our owned dofs (send_idx non-empty),
+  // plus reusable per-neighbor packing buffers. Mutable because the halo
+  // runs inside logically-const hot paths; each rank owns its Mesh, so
+  // there is no cross-thread access.
+  mutable bool halo_plan_built_ = false;
+  mutable std::vector<int> halo_owner_ranks_;  // recv_idx[r] non-empty
+  mutable std::vector<int> halo_user_ranks_;   // send_idx[r] non-empty
+  mutable std::vector<std::vector<double>> halo_out_;
+  mutable HaloOp halo_inflight_ = HaloOp::kNone;
+  mutable int halo_ncomp_ = 0;
 };
 
 /// Build the mesh from a face+edge balanced forest. Collective.

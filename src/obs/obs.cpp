@@ -209,6 +209,14 @@ CounterId amg_setup_skipped() {
   static const CounterId id = counter("amg.setup.skipped");
   return id;
 }
+CounterId minres_syncs() {
+  static const CounterId id = counter("comm.sync.minres");
+  return id;
+}
+CounterId cg_syncs() {
+  static const CounterId id = counter("comm.sync.cg");
+  return id;
+}
 }  // namespace wellknown
 
 std::vector<std::pair<std::string, std::uint64_t>> aggregate_counters() {

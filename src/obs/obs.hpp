@@ -150,6 +150,12 @@ CounterId amg_vcycles();
 CounterId amg_setup_full();
 CounterId amg_setup_numeric();
 CounterId amg_setup_skipped();
+/// Global synchronization rounds (fused multi-value allreduces) issued by
+/// the Krylov iterations ("comm.sync.minres" / "comm.sync.cg"). Divided
+/// by the matching *_iterations counter this yields the per-iteration
+/// sync count the reduced-synchronization solvers must keep <= 2.
+CounterId minres_syncs();
+CounterId cg_syncs();
 }  // namespace wellknown
 
 /// Sum each counter across all rank slots; sorted by name, zero-valued

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/obs.hpp"
 
 namespace alps::octree {
 
@@ -20,13 +21,7 @@ struct WireOctant {
 
 void partition(par::Comm& comm, LinearOctree& tree,
                std::span<LeafPayload*> payloads,
-               std::span<const double> weights, PartitionTimings* timings) {
-  const auto clock_now = [] {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-  };
-  const double t_start = clock_now();
+               std::span<const double> weights) {
   const int p = comm.size();
   const std::int64_t n_local = tree.num_local();
   for (LeafPayload* f : payloads) {
@@ -37,66 +32,69 @@ void partition(par::Comm& comm, LinearOctree& tree,
       static_cast<std::int64_t>(weights.size()) != n_local)
     throw std::invalid_argument("partition: weight size mismatch");
 
-  // Destination rank of each local leaf from its global SFC position.
   std::vector<int> dest(static_cast<std::size_t>(n_local));
-  if (weights.empty()) {
-    const std::int64_t my_offset = comm.exscan_sum(n_local);
-    const std::int64_t n_global = comm.allreduce_sum(n_local);
-    for (std::int64_t i = 0; i < n_local; ++i) {
-      const std::int64_t g = my_offset + i;
-      // Inverse of the split g in [N*r/P, N*(r+1)/P).
-      int r = static_cast<int>((static_cast<__int128>(g) * p) / n_global);
-      while (g < n_global * r / p) --r;
-      while (g >= n_global * (r + 1) / p) ++r;
-      dest[static_cast<std::size_t>(i)] = r;
+  std::vector<std::vector<WireOctant>> in_oct;
+  {
+    // PARTITIONTREE: split computation + octant movement.
+    OBS_PHASE_SPAN("amr.partition");
+
+    // Destination rank of each local leaf from its global SFC position.
+    if (weights.empty()) {
+      const std::int64_t my_offset = comm.exscan_sum(n_local);
+      const std::int64_t n_global = comm.allreduce_sum(n_local);
+      for (std::int64_t i = 0; i < n_local; ++i) {
+        const std::int64_t g = my_offset + i;
+        // Inverse of the split g in [N*r/P, N*(r+1)/P).
+        int r = static_cast<int>((static_cast<__int128>(g) * p) / n_global);
+        while (g < n_global * r / p) --r;
+        while (g >= n_global * (r + 1) / p) ++r;
+        dest[static_cast<std::size_t>(i)] = r;
+      }
+    } else {
+      double w_local = 0.0;
+      for (double w : weights) w_local += w;
+      const double my_woff = comm.exscan_sum(w_local);
+      const double w_global = comm.allreduce_sum(w_local);
+      if (!(w_global > 0.0))
+        throw std::invalid_argument(
+            "partition: weights must have a positive global sum");
+      double acc = my_woff;
+      for (std::int64_t i = 0; i < n_local; ++i) {
+        const double mid = acc + 0.5 * weights[static_cast<std::size_t>(i)];
+        int r = static_cast<int>(std::floor(mid / w_global * p));
+        dest[static_cast<std::size_t>(i)] = std::clamp(r, 0, p - 1);
+        acc += weights[static_cast<std::size_t>(i)];
+      }
+      // SFC order must be preserved: destinations are already monotone
+      // because the weighted prefix is monotone.
     }
-  } else {
-    double w_local = 0.0;
-    for (double w : weights) w_local += w;
-    const double my_woff = comm.exscan_sum(w_local);
-    const double w_global = comm.allreduce_sum(w_local);
-    if (!(w_global > 0.0))
-      throw std::invalid_argument(
-          "partition: weights must have a positive global sum");
-    double acc = my_woff;
+
+    // Ship octants.
+    std::vector<std::vector<WireOctant>> out_oct(static_cast<std::size_t>(p));
     for (std::int64_t i = 0; i < n_local; ++i) {
-      const double mid = acc + 0.5 * weights[static_cast<std::size_t>(i)];
-      int r = static_cast<int>(std::floor(mid / w_global * p));
-      dest[static_cast<std::size_t>(i)] = std::clamp(r, 0, p - 1);
-      acc += weights[static_cast<std::size_t>(i)];
+      const Octant& o = tree.leaves()[static_cast<std::size_t>(i)];
+      out_oct[static_cast<std::size_t>(dest[static_cast<std::size_t>(i)])]
+          .push_back(WireOctant{o.tree, o.x, o.y, o.z, o.level});
     }
-    // SFC order must be preserved: destinations are already monotone
-    // because the weighted prefix is monotone.
+    in_oct = comm.alltoallv(out_oct);
   }
 
-  // Ship octants.
-  std::vector<std::vector<WireOctant>> out_oct(static_cast<std::size_t>(p));
-  for (std::int64_t i = 0; i < n_local; ++i) {
-    const Octant& o = tree.leaves()[static_cast<std::size_t>(i)];
-    out_oct[static_cast<std::size_t>(dest[static_cast<std::size_t>(i)])]
-        .push_back(WireOctant{o.tree, o.x, o.y, o.z, o.level});
-  }
-  std::vector<std::vector<WireOctant>> in_oct = comm.alltoallv(out_oct);
-  const double t_oct = clock_now();
-
-  // Ship each payload with the identical routing (TRANSFERFIELDS).
-  for (LeafPayload* f : payloads) {
-    std::vector<std::vector<double>> out_f(static_cast<std::size_t>(p));
-    for (std::int64_t i = 0; i < n_local; ++i) {
-      auto& buf =
-          out_f[static_cast<std::size_t>(dest[static_cast<std::size_t>(i)])];
-      const double* src = f->data.data() + i * f->ncomp;
-      buf.insert(buf.end(), src, src + f->ncomp);
+  {
+    // TRANSFERFIELDS: each payload moves with the identical routing.
+    OBS_PHASE_SPAN("amr.transfer_fields");
+    for (LeafPayload* f : payloads) {
+      std::vector<std::vector<double>> out_f(static_cast<std::size_t>(p));
+      for (std::int64_t i = 0; i < n_local; ++i) {
+        auto& buf =
+            out_f[static_cast<std::size_t>(dest[static_cast<std::size_t>(i)])];
+        const double* src = f->data.data() + i * f->ncomp;
+        buf.insert(buf.end(), src, src + f->ncomp);
+      }
+      std::vector<std::vector<double>> in_f = comm.alltoallv(out_f);
+      f->data.clear();
+      for (const auto& v : in_f)
+        f->data.insert(f->data.end(), v.begin(), v.end());
     }
-    std::vector<std::vector<double>> in_f = comm.alltoallv(out_f);
-    f->data.clear();
-    for (const auto& v : in_f) f->data.insert(f->data.end(), v.begin(), v.end());
-  }
-
-  const double t_fields = clock_now();
-  if (timings != nullptr) {
-    timings->partition_seconds += t_oct - t_start;
-    timings->transfer_seconds += t_fields - t_oct;
   }
 
   // Concatenating in source-rank order preserves global SFC order.

@@ -18,21 +18,16 @@ struct LeafPayload {
   std::vector<double> data;
 };
 
-/// Wall-clock split of a repartition: octant movement (PARTITIONTREE)
-/// versus payload movement (TRANSFERFIELDS), reported separately as in
-/// the paper's Fig. 7/10 breakdowns.
-struct PartitionTimings {
-  double partition_seconds = 0.0;
-  double transfer_seconds = 0.0;
-};
-
 /// Repartition to equal leaf counts per rank. Any payloads move with their
 /// leaves. `weights`, if nonempty (one per local leaf), switches to
-/// equal-weight partitioning (e.g. element work estimates).
+/// equal-weight partitioning (e.g. element work estimates). The octant
+/// movement (PARTITIONTREE) and payload movement (TRANSFERFIELDS) stages
+/// accumulate into the "amr.partition" / "amr.transfer_fields" obs phases,
+/// matching the paper's Fig. 7/10 breakdowns — read them back with
+/// obs::phase_seconds.
 void partition(par::Comm& comm, LinearOctree& tree,
                std::span<LeafPayload*> payloads = {},
-               std::span<const double> weights = {},
-               PartitionTimings* timings = nullptr);
+               std::span<const double> weights = {});
 
 /// Max over ranks of (local leaves / ideal leaves): 1.0 is perfect balance.
 double load_imbalance(par::Comm& comm, const LinearOctree& tree);

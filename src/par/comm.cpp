@@ -1,5 +1,7 @@
 #include "par/comm.hpp"
 
+#include <algorithm>
+
 namespace alps::par {
 
 World::World(int size)
@@ -42,6 +44,23 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
     }
     box.cv.wait(lock);
   }
+}
+
+void Comm::allreduce_sum(std::span<const double> in, std::span<double> out) {
+  if (in.size() != out.size())
+    throw std::invalid_argument("par::Comm::allreduce_sum: length mismatch");
+  if (!in.empty() && in.data() == out.data())
+    throw std::invalid_argument("par::Comm::allreduce_sum: in/out overlap");
+  OBS_COMM_SPAN("par.allreduce");
+  world_->stats_.allreduce_calls++;
+  world_->stats_.allreduce_bytes += in.size() * sizeof(double);
+  publish(in.data(), in.size() * sizeof(double));
+  std::fill(out.begin(), out.end(), 0.0);
+  for (int r = 0; r < size(); ++r) {
+    const double* src = static_cast<const double*>(world_->stage_[r]);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += src[i];
+  }
+  release();
 }
 
 void Comm::barrier() {

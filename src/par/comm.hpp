@@ -246,6 +246,13 @@ class Comm {
   T allreduce_sum(const T& v) {
     return allreduce(v, [](T a, T b) { return a + b; });
   }
+
+  /// Element-wise sum-reduce a vector in ONE collective round: out[i] =
+  /// sum over ranks of in[i]. This is what lets the Krylov solvers fuse
+  /// their independent dot products into a single synchronization per
+  /// reduction point instead of one allreduce per scalar. `out` must not
+  /// overlap `in` and both sides must pass the same length.
+  void allreduce_sum(std::span<const double> in, std::span<double> out);
   template <typename T>
   T allreduce_max(const T& v) {
     return allreduce(v, [](T a, T b) { return a > b ? a : b; });

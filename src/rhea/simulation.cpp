@@ -219,16 +219,12 @@ void Simulation::adapt_once() {
     ev = mesh::interpolate_element_values(old_leaves, tree.leaves(), corr, ev);
   }
 
-  // PARTITIONTREE + TRANSFERFIELDS. octree::partition splits its own time
-  // into the two phases, so they are fed to obs as measured deltas rather
-  // than one enclosing span.
-  octree::PartitionTimings pt;
+  // PARTITIONTREE + TRANSFERFIELDS. octree::partition accumulates the two
+  // stages into the amr.partition / amr.transfer_fields phases itself.
   octree::LeafPayload payload{8, std::move(ev)};
   octree::LeafPayload* ps[] = {&payload};
-  forest_.partition(*comm_, ps, {}, &pt);
+  forest_.partition(*comm_, ps);
   ev = std::move(payload.data);
-  obs::phase_add("amr.partition", pt.partition_seconds);
-  obs::phase_add("amr.transfer_fields", pt.transfer_seconds);
 
   // EXTRACTMESH + nodal rebuild.
   extract_and_rebuild(ev);

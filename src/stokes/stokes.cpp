@@ -214,7 +214,8 @@ la::SolveResult StokesSolver::solve(par::Comm& comm,
   // rank 0 records to the shared registry).
   la::KrylovOptions kopt = opt_.krylov;
   if (kopt.history_capacity == 0) kopt.history_capacity = 64;
-  la::SolveResult r = la::minres(aop, rhs, x, pre, op_->as_dot(comm), kopt);
+  la::SolveResult r =
+      la::minres(aop, rhs, x, pre, op_->as_multi_dot(comm), kopt);
   if (comm.rank() == 0)
     obs::record_history("stokes.minres.relres", r.residual_history);
   timings_.minres_seconds += now_seconds() - t0;
