@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 #include <ctime>
+#include <fstream>
+#include <thread>
 
 #include "rhea/simulation.hpp"
 
@@ -20,6 +22,32 @@ std::string bench_date() {
   gmtime_r(&now, &tm);
   std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
   return buf;
+}
+
+std::string cpu_model() {
+  std::ifstream f("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(f, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      std::size_t b = line.find_first_not_of(" \t", colon + 1);
+      return b != std::string::npos ? line.substr(b) : "";
+    }
+  }
+  return "unknown";
+}
+
+/// The SIMD level target_clones actually dispatches to on this host —
+/// the highest entry of the ("avx512f", "avx2", "default") clone lists
+/// the CPU supports. BENCH_*.json from different machines are only
+/// comparable when this matches.
+std::string simd_level() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) return "avx512f";
+  if (__builtin_cpu_supports("avx2")) return "avx2";
+#endif
+  return "default";
 }
 
 }  // namespace
@@ -40,12 +68,24 @@ Reporter::Reporter(const std::string& bench_name, int ranks,
       .field("date", bench_date());
   if (ranks > 0) j_.field("ranks", ranks);
   if (problem_size > 0) j_.field("problem_size", problem_size);
+  j_.obj_open("host")
+      .field("cpu", cpu_model())
+      .field("cores",
+             static_cast<std::int64_t>(std::thread::hardware_concurrency()))
+      .field("simd", simd_level())
+      .obj_close();
   j_.obj_close();
 }
 
 void Reporter::snapshot_obs(const std::string& label) {
-  snaps_.push_back(Snapshot{label, alps::obs::aggregate_phases(),
-                            alps::obs::aggregate_counters()});
+  Snapshot s;
+  s.label = label;
+  s.phases = alps::obs::aggregate_phases();
+  s.counters = alps::obs::aggregate_counters();
+  s.analysis = alps::obs::analysis::summarize(alps::obs::analysis::step_records());
+  alps::obs::analysis::reset_records();
+  s.hw = alps::obs::aggregate_hw();
+  snaps_.push_back(std::move(s));
 }
 
 void Reporter::save(const std::string& path) {
@@ -69,6 +109,28 @@ void Reporter::save(const std::string& path) {
     j_.obj_open("counters");
     for (const auto& [name, value] : s.counters) j_.field(name.c_str(), value);
     j_.obj_close();
+    if (s.analysis.steps > 0) {
+      j_.field("analysis_steps", s.analysis.steps);
+      j_.field_raw("critical_path",
+                   alps::obs::analysis::critical_path_json(s.analysis));
+      j_.field_raw("wait_states",
+                   alps::obs::analysis::wait_states_json(s.analysis));
+    }
+    if (!s.hw.empty()) {
+      j_.arr_open("hw");
+      for (const auto& [name, c] : s.hw) {
+        j_.obj_open()
+            .field("span", name)
+            .field("spans", c.spans)
+            .field("available", c.available())
+            .field("cycles", c.cycles)
+            .field("instructions", c.instructions)
+            .field("llc_misses", c.llc_misses)
+            .field("stalled_cycles", c.stalled_cycles)
+            .obj_close();
+      }
+      j_.arr_close();
+    }
     j_.obj_close();
   }
   j_.arr_close();

@@ -14,6 +14,8 @@
 
 #include "forest/forest.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/analysis.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/obs.hpp"
 #include "par/runtime.hpp"
 
@@ -48,6 +50,10 @@ class JsonWriter {
   }
   JsonWriter& field(const char* key, const std::string& v) {
     return raw(key, '"' + v + '"');  // bench strings need no escaping
+  }
+  /// Pre-serialized JSON value emitted verbatim (analysis blocks).
+  JsonWriter& field_raw(const char* key, const std::string& v) {
+    return raw(key, v);
   }
 
   const std::string& str() const { return out_; }
@@ -119,7 +125,11 @@ class Reporter {
 
   JsonWriter& json() { return j_; }
 
-  /// Capture the obs aggregates of the most recent par::run under `label`.
+  /// Capture the obs aggregates of the most recent par::run under `label`:
+  /// phase breakdowns, merged counters, the wait-state / critical-path
+  /// roll-up of every analyze_step the run performed, and hardware-counter
+  /// aggregates. The analysis step records are consumed (reset) so the
+  /// next snapshot only sees its own run.
   void snapshot_obs(const std::string& label);
 
   /// Close the top-level object (appending the obs snapshots) and write.
@@ -130,6 +140,8 @@ class Reporter {
     std::string label;
     std::vector<alps::obs::PhaseBreakdown> phases;
     std::vector<std::pair<std::string, std::uint64_t>> counters;
+    alps::obs::analysis::RunSummary analysis;
+    std::vector<std::pair<std::string, alps::obs::HwCounts>> hw;
   };
   JsonWriter j_;
   std::vector<Snapshot> snaps_;

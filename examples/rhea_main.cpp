@@ -24,6 +24,9 @@
 //   vtk_prefix ()           when set, write <prefix>_<n>.vtk per adaptation
 //   sentinels (1)           NaN/Inf field checks after every step
 //   nan_inject_step (-1)    test hook: poison the temperature at this step
+//   slow_rank (-1)          test hook: artificially delay this rank every
+//   slow_rank_us (0)        step by slow_rank_us microseconds, so the
+//                           wait-state analyzer must blame it (late sender)
 //
 // Observability: ALPS_TELEMETRY=1 streams one JSONL record per time step
 // to ALPS_TELEMETRY_OUT (default alps_telemetry.jsonl). If the sentinels
@@ -167,6 +170,8 @@ int main(int argc, char** argv) {
         cfg.integer("minres_maxit", 150);
     sim_cfg.sentinels = cfg.integer("sentinels", 1) != 0;
     sim_cfg.nan_inject_step = cfg.integer("nan_inject_step", -1);
+    sim_cfg.slow_rank = cfg.integer("slow_rank", -1);
+    sim_cfg.slow_rank_us = cfg.integer("slow_rank_us", 0);
     const double sigma_y = cfg.num("sigma_y", 1.0);
     if (sigma_y > 0) {
       rhea::YieldingLawOptions yopt;

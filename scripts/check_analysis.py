@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate the wait-state / critical-path analysis blocks in a telemetry
+JSONL stream produced by a rhea run with ALPS_TELEMETRY=1 ALPS_ANALYSIS=1.
+
+Each per-step record (a line carrying a "step" field) must embed:
+
+  "critical_path": {length_s, mean_s, imbalance, phases: [
+      {phase, cp_s, mean_s, rank, imbalance}, ...]}
+  "wait_states": {phases: [
+      {phase, wall_s, late_sender_s, transfer_s, late_receiver_s,
+       collective_s, max_blocked_s, recvs, waited_recvs, collectives,
+       halo_ops, overlap?, blamed_rank?, blamed_s?}, ...]}
+
+Checks (exit 1 with a message on the first failure):
+  * every step record has both blocks and at least --min-steps records
+    exist,
+  * critical_path: length_s >= mean_s >= 0, every phase has
+    cp_s >= mean_s >= 0 and imbalance >= 1 (up to rounding), and the
+    critical rank is in [0, ranks),
+  * wait_states: all buckets are >= 0 and, per phase, the locally-exact
+    buckets (late_sender_s + transfer_s + collective_s) sum to no more
+    than the rank-summed phase wall time (late_receiver_s is excluded:
+    it measures message queue time hidden by the receiver's own work and
+    may span phase boundaries),
+  * achieved overlap, when present, lies in [0, 1],
+  * blamed_rank, when present, is in [0, ranks) and blamed_s > 0,
+  * with --expect-slow-rank N, at least one phase in some step blames
+    rank N for late-sender time (validates the slow-rank test hook).
+
+Usage:
+  check_analysis.py alps_telemetry.jsonl --ranks 4 --min-steps 2 \
+      --expect-slow-rank 1
+"""
+
+import argparse
+import json
+import sys
+
+EPS = 1e-9       # absolute slack for float roundtrip through JSON
+REL = 1.02       # 2% relative slack on the bucket <= wall invariant
+
+
+def fail(msg: str) -> None:
+    print(f"check_analysis: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_critical(step: int, cp: dict, ranks: int) -> None:
+    for key in ("length_s", "mean_s", "imbalance", "phases"):
+        if key not in cp:
+            fail(f"step {step}: critical_path is missing \"{key}\"")
+    if cp["mean_s"] < -EPS or cp["length_s"] < cp["mean_s"] - EPS:
+        fail(f"step {step}: critical_path length_s {cp['length_s']} < "
+             f"mean_s {cp['mean_s']}")
+    for ph in cp["phases"]:
+        name = ph.get("phase", "?")
+        if ph["mean_s"] < -EPS or ph["cp_s"] < ph["mean_s"] - EPS:
+            fail(f"step {step} phase {name}: cp_s {ph['cp_s']} < "
+                 f"mean_s {ph['mean_s']}")
+        if ph["imbalance"] < 1.0 - 1e-6:
+            fail(f"step {step} phase {name}: imbalance {ph['imbalance']} < 1")
+        if not 0 <= ph["rank"] < ranks:
+            fail(f"step {step} phase {name}: critical rank {ph['rank']} "
+                 f"outside [0, {ranks})")
+
+
+def check_waits(step: int, ws: dict, ranks: int) -> set:
+    if "phases" not in ws:
+        fail(f"step {step}: wait_states is missing \"phases\"")
+    blamed = set()
+    for ph in ws["phases"]:
+        name = ph.get("phase", "?")
+        buckets = ("late_sender_s", "transfer_s", "late_receiver_s",
+                   "collective_s")
+        for b in buckets + ("wall_s", "max_blocked_s"):
+            if b not in ph:
+                fail(f"step {step} phase {name}: missing \"{b}\"")
+            if ph[b] < -EPS:
+                fail(f"step {step} phase {name}: {b} = {ph[b]} < 0")
+        blocked = (ph["late_sender_s"] + ph["transfer_s"] +
+                   ph["collective_s"])
+        if blocked > ph["wall_s"] * REL + EPS:
+            fail(f"step {step} phase {name}: blocked buckets sum to "
+                 f"{blocked} > wall_s {ph['wall_s']}")
+        if "overlap" in ph and not -EPS <= ph["overlap"] <= 1 + EPS:
+            fail(f"step {step} phase {name}: overlap {ph['overlap']} "
+                 f"outside [0, 1]")
+        if "blamed_rank" in ph:
+            if not 0 <= ph["blamed_rank"] < ranks:
+                fail(f"step {step} phase {name}: blamed_rank "
+                     f"{ph['blamed_rank']} outside [0, {ranks})")
+            if ph.get("blamed_s", 0) <= 0:
+                fail(f"step {step} phase {name}: blamed_rank present but "
+                     f"blamed_s = {ph.get('blamed_s')}")
+            blamed.add(ph["blamed_rank"])
+    return blamed
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("telemetry", help="telemetry JSONL file")
+    ap.add_argument("--ranks", type=int, default=0,
+                    help="expected rank count (default: from the records)")
+    ap.add_argument("--min-steps", type=int, default=1,
+                    help="minimum number of analyzed step records")
+    ap.add_argument("--expect-slow-rank", type=int, default=-1,
+                    help="require some phase to blame this rank")
+    args = ap.parse_args()
+
+    try:
+        with open(args.telemetry, encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        fail(f"cannot read {args.telemetry}: {e}")
+
+    steps = 0
+    phases = set()
+    blamed = set()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"line {i + 1} is not valid JSON: {e}")
+        if "step" not in rec:
+            continue
+        step = rec["step"]
+        ranks = args.ranks if args.ranks > 0 else rec.get("ranks", 1)
+        for key in ("critical_path", "wait_states"):
+            if key not in rec:
+                fail(f"step {step} record has no \"{key}\" block "
+                     f"(was the run started with ALPS_ANALYSIS=0?)")
+        check_critical(step, rec["critical_path"], ranks)
+        blamed |= check_waits(step, rec["wait_states"], ranks)
+        phases |= {p["phase"] for p in rec["wait_states"]["phases"]}
+        steps += 1
+
+    if steps < args.min_steps:
+        fail(f"expected >= {args.min_steps} analyzed step records, "
+             f"found {steps}")
+    if args.expect_slow_rank >= 0 and args.expect_slow_rank not in blamed:
+        fail(f"no phase blamed rank {args.expect_slow_rank} for late-sender "
+             f"time (blamed: {sorted(blamed)})")
+
+    print(f"check_analysis: OK: {steps} analyzed steps, "
+          f"{len(phases)} wait-state phases"
+          + (f", blamed ranks {sorted(blamed)}" if blamed else ""))
+
+
+if __name__ == "__main__":
+    main()

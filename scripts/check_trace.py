@@ -11,10 +11,16 @@ Checks (exit 1 with a message on the first failure):
     the ring overflowed and the trace is silently truncated),
   * every --require name appears among the recorded spans,
   * at least one properly nested span pair exists (same tid, containment),
-    i.e. the scoped-span hierarchy survived export.
+    i.e. the scoped-span hierarchy survived export,
+  * Perfetto flow events pair up: every flow id has exactly one start
+    ("s") and one finish ("f"), the finish is not earlier than the start,
+    and the two endpoints sit on different rank tracks (the arrows link
+    exchange_start spans to the peer's finish spans); "alpsFlowDropped"
+    counts must be zero; with --min-flows N, at least N pairs must exist.
 
 Usage:
-  check_trace.py TRACE.json --ranks 2 --require amg.vcycle la.cg
+  check_trace.py TRACE.json --ranks 2 --require amg.vcycle la.cg \
+      --min-flows 1
 """
 
 import argparse
@@ -35,6 +41,8 @@ def main() -> None:
                     help="minimum number of rank tracks expected")
     ap.add_argument("--require", nargs="*", default=[],
                     help="span names that must appear in the trace")
+    ap.add_argument("--min-flows", type=int, default=0,
+                    help="minimum number of matched flow s/f pairs")
     args = ap.parse_args()
 
     try:
@@ -52,11 +60,22 @@ def main() -> None:
     spans_by_tid = defaultdict(list)
     declared_tids = set()
     names = set()
+    flow_starts = {}
+    flow_finishes = {}
     for i, ev in enumerate(events):
         if not isinstance(ev, dict) or "ph" not in ev:
             fail(f"event {i} is not an object with a \"ph\" field")
         if ev["ph"] == "M" and ev.get("name") == "thread_name":
             declared_tids.add(ev.get("tid"))
+        if ev["ph"] in ("s", "f"):
+            for key in ("id", "tid", "ts", "name", "cat"):
+                if key not in ev:
+                    fail(f"flow event {i} is missing \"{key}\"")
+            side = flow_starts if ev["ph"] == "s" else flow_finishes
+            if ev["id"] in side:
+                fail(f"flow id {ev['id']} has duplicate \"{ev['ph']}\" events")
+            side[ev["id"]] = (ev["tid"], ev["ts"])
+            continue
         if ev["ph"] != "X":
             continue
         for key in ("name", "tid", "ts", "dur"):
@@ -88,6 +107,28 @@ def main() -> None:
     if missing:
         fail(f"required span names not found: {missing} "
              f"(recorded: {sorted(names)})")
+
+    unmatched = sorted(set(flow_starts) ^ set(flow_finishes))
+    if unmatched:
+        fail(f"{len(unmatched)} flow ids lack a matching s/f endpoint "
+             f"(first: {unmatched[:5]})")
+    for fid, (stid, sts) in flow_starts.items():
+        ftid, fts = flow_finishes[fid]
+        if fts < sts:
+            fail(f"flow id {fid} finishes at {fts} before its start {sts}")
+        if ftid == stid:
+            fail(f"flow id {fid} starts and finishes on the same rank track "
+                 f"{stid}")
+    flow_dropped = doc.get("alpsFlowDropped", [])
+    if not isinstance(flow_dropped, list):
+        fail('"alpsFlowDropped" is not a list')
+    bad_flows = {rank: n for rank, n in enumerate(flow_dropped) if n > 0}
+    if bad_flows:
+        fail(f"dropped flow events (ring overflow, raise ALPS_TRACE_BUF): "
+             f"{bad_flows}")
+    if len(flow_starts) < args.min_flows:
+        fail(f"expected >= {args.min_flows} flow pairs, "
+             f"found {len(flow_starts)}")
 
     nested = False
     for spans in spans_by_tid.values():

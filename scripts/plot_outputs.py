@@ -1,17 +1,28 @@
 #!/usr/bin/env python3
-"""Plot the CSV snapshots written by the examples.
+"""Plot the CSV snapshots written by the examples, or the per-step
+wait-state / critical-path time-series from a telemetry JSONL stream.
 
 Usage:
   python3 scripts/plot_outputs.py mantle_slice_2.csv      # x-z temperature slice
   python3 scripts/plot_outputs.py sphere_front_1.csv      # 3D scatter of the front
+  python3 scripts/plot_outputs.py alps_telemetry.jsonl    # analysis time-series
+  python3 scripts/plot_outputs.py run_dir/                # every *.jsonl inside
 
 Requires matplotlib. The examples write these files into the current
 working directory:
   mantle_slice_<n>.csv   columns x,z,T,eta   (examples/mantle_convection)
   sphere_front_<n>.csv   columns x,y,z,c     (examples/spherical_advection)
+
+Telemetry mode reads the JSONL written with ALPS_TELEMETRY=1 (rhea runs
+embed "critical_path" and "wait_states" blocks when ALPS_ANALYSIS is on,
+the default) and renders one PNG per input file: per-phase critical-path
+imbalance over steps on top, stacked wait-state buckets (late-sender /
+transfer / collective) per phase over steps below.
 """
 
 import csv
+import json
+import os
 import sys
 
 
@@ -26,12 +37,91 @@ def load(path):
     return cols
 
 
-def main():
-    if len(sys.argv) != 2:
-        print(__doc__)
-        return 1
-    path = sys.argv[1]
-    cols = load(path)
+def load_telemetry(path):
+    """Per-step analysis series: (steps, {phase: [imbalance]},
+    {phase: {bucket: [seconds]}}). Missing phases carry 0 for that step."""
+    steps = []
+    imb = {}
+    waits = {}
+    buckets = ("late_sender_s", "transfer_s", "collective_s")
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if "step" not in rec or "critical_path" not in rec:
+                continue
+            steps.append(rec["step"])
+            n = len(steps)
+            for ph in rec["critical_path"].get("phases", []):
+                series = imb.setdefault(ph["phase"], [])
+                series.extend([1.0] * (n - 1 - len(series)))
+                series.append(ph["imbalance"])
+            for ph in rec.get("wait_states", {}).get("phases", []):
+                per = waits.setdefault(ph["phase"],
+                                       {b: [] for b in buckets})
+                for b in buckets:
+                    per[b].extend([0.0] * (n - 1 - len(per[b])))
+                    per[b].append(ph.get(b, 0.0))
+    # pad trailing steps where a phase went missing
+    for series in imb.values():
+        series.extend([1.0] * (len(steps) - len(series)))
+    for per in waits.values():
+        for b in buckets:
+            per[b].extend([0.0] * (len(steps) - len(per[b])))
+    return steps, imb, waits
+
+
+def plot_telemetry(path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    steps, imb, waits = load_telemetry(path)
+    if not steps:
+        print(f"skip {path}: no analyzed step records")
+        return None
+
+    fig, (ax1, ax2) = plt.subplots(2, 1, figsize=(10, 8), sharex=True)
+    for phase, series in sorted(imb.items()):
+        ax1.plot(steps, series, marker=".", label=phase)
+    ax1.set_ylabel("critical-path imbalance (max/mean)")
+    ax1.set_title(os.path.basename(path))
+    ax1.axhline(1.0, color="grey", lw=0.5)
+    if imb:
+        ax1.legend(fontsize=7, ncol=2)
+
+    # one stacked band per phase: total blocked time split into buckets
+    labels = {"late_sender_s": "late sender", "transfer_s": "transfer",
+              "collective_s": "collective"}
+    plotted = False
+    for phase, per in sorted(waits.items()):
+        total = [sum(per[b][i] for b in per) for i in range(len(steps))]
+        if max(total, default=0.0) <= 0.0:
+            continue
+        bottom = [0.0] * len(steps)
+        for b in ("late_sender_s", "transfer_s", "collective_s"):
+            top = [bottom[i] + per[b][i] for i in range(len(steps))]
+            ax2.fill_between(steps, bottom, top, alpha=0.5,
+                             label=f"{phase}: {labels[b]}")
+            bottom = top
+        plotted = True
+    ax2.set_xlabel("step")
+    ax2.set_ylabel("blocked time per step [s]")
+    if plotted:
+        ax2.legend(fontsize=7, ncol=2)
+
+    out = path.rsplit(".", 1)[0] + ".png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    plt.close(fig)
+    print(f"wrote {out}")
+    return out
+
+
+def plot_csv(path, cols):
     import matplotlib
 
     matplotlib.use("Agg")
@@ -62,6 +152,26 @@ def main():
     fig.tight_layout()
     fig.savefig(out, dpi=130)
     print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 1
+    path = sys.argv[1]
+    if os.path.isdir(path):
+        made = 0
+        for name in sorted(os.listdir(path)):
+            if name.endswith(".jsonl"):
+                if plot_telemetry(os.path.join(path, name)):
+                    made += 1
+        if made == 0:
+            print(f"no telemetry JSONL with analyzed steps under {path}")
+            return 1
+        return 0
+    if path.endswith(".jsonl"):
+        return 0 if plot_telemetry(path) else 1
+    plot_csv(path, load(path))
     return 0
 
 

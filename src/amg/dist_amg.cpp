@@ -6,6 +6,7 @@
 #include <string>
 
 #include "amg/classical.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/obs.hpp"
 #include "obs/telemetry.hpp"
 
@@ -785,6 +786,7 @@ void DistAmg::cycle(par::Comm& comm, std::size_t lvl,
 void DistAmg::vcycle(par::Comm& comm, std::span<const double> b,
                      std::span<double> x) const {
   OBS_SPAN("amg.vcycle");
+  OBS_HW_SPAN("amg.vcycle");
   obs::counter_add(obs::wellknown::amg_vcycles(), 1);
   cycle(comm, 0, b, x);
 }

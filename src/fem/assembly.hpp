@@ -146,6 +146,13 @@ class ElementOperator {
     ensure_plan();
     return plan_.n_interior;
   }
+  /// Doubles of element-matrix data the batched plan streams per apply
+  /// (upper-tri packed when symmetric, full blocks otherwise, lane padding
+  /// included). bench_apply derives the achieved bytes/s from this.
+  std::size_t plan_matrix_doubles() const {
+    ensure_plan();
+    return plan_.mats.size();
+  }
 
  private:
   void gather_element(std::size_t e, std::span<const double> x,

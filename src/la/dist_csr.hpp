@@ -56,22 +56,28 @@ class GhostExchange {
       buf.reserve(idx.size());
       for (std::int32_t i : idx) buf.push_back(owned[static_cast<std::size_t>(i)]);
       bytes += idx.size() * sizeof(T);
+      // Flow start stamped before the post (delivery is instantaneous).
+      obs::flow_emit(r, obs::kFlowGhostForward, true);
       comm.send(r, kForwardTag, buf);
     }
     obs::counter_add(obs::wellknown::ghost_exchange_bytes(), bytes);
+    obs::overlap_mark_start();
   }
 
   /// Receive the neighbors' owned values into the local ghost slots.
   template <typename T>
   void forward_finish(par::Comm& comm, std::span<T> ghosts) const {
+    obs::overlap_mark_finish_begin();
     const int p = comm.size();
     for (int r = 0; r < p; ++r) {
       const auto& idx = recv_idx_[static_cast<std::size_t>(r)];
       if (idx.empty()) continue;
       const std::vector<T> buf = comm.recv<T>(r, kForwardTag);
+      obs::flow_emit(r, obs::kFlowGhostForward, false);
       for (std::size_t i = 0; i < idx.size(); ++i)
         ghosts[static_cast<std::size_t>(idx[i])] = buf[i];
     }
+    obs::overlap_mark_finish_end();
   }
 
   /// Fill `ghosts` (num_ghosts entries) with the owners' `owned` values.
@@ -98,6 +104,7 @@ class GhostExchange {
       buf.reserve(idx.size());
       for (std::int32_t i : idx) buf.push_back(ghosts[static_cast<std::size_t>(i)]);
       bytes += idx.size() * sizeof(T);
+      obs::flow_emit(r, obs::kFlowGhostReverse, true);
       comm.send(r, kReverseTag, buf);
     }
     obs::counter_add(obs::wellknown::ghost_exchange_bytes(), bytes);
@@ -105,6 +112,7 @@ class GhostExchange {
       const auto& idx = send_idx_[static_cast<std::size_t>(r)];
       if (idx.empty()) continue;
       const std::vector<T> buf_in = comm.recv<T>(r, kReverseTag);
+      obs::flow_emit(r, obs::kFlowGhostReverse, false);
       for (std::size_t i = 0; i < idx.size(); ++i)
         owned[static_cast<std::size_t>(idx[i])] += buf_in[i];
     }

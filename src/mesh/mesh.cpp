@@ -372,22 +372,29 @@ void Mesh::accumulate_start(par::Comm& comm, std::span<double> values,
         v = 0.0;
       }
     bytes += out.size() * sizeof(double);
+    // Flow start stamped before the post: the mailbox delivers instantly,
+    // so emitting after send could timestamp "s" later than the peer's "f".
+    obs::flow_emit(r, obs::kFlowHaloAccumulate, true);
     comm.send(r, kHaloAccumulateTag, out);
   }
   obs::counter_add(obs::wellknown::ghost_exchange_bytes(), bytes);
+  obs::overlap_mark_start();
 }
 
 void Mesh::accumulate_finish(par::Comm& comm, std::span<double> values,
                              int ncomp) const {
   check_finish(HaloOp::kAccumulate, ncomp);
+  obs::overlap_mark_finish_begin();
   const std::size_t nc = static_cast<std::size_t>(ncomp);
   for (int r : halo_user_ranks_) {
     const auto& idx = send_idx[static_cast<std::size_t>(r)];
     const std::vector<double> in = comm.recv<double>(r, kHaloAccumulateTag);
+    obs::flow_emit(r, obs::kFlowHaloAccumulate, false);
     for (std::size_t i = 0; i < idx.size(); ++i)
       for (std::size_t c = 0; c < nc; ++c)
         values[static_cast<std::size_t>(idx[i]) * nc + c] += in[i * nc + c];
   }
+  obs::overlap_mark_finish_end();
 }
 
 void Mesh::exchange_start(par::Comm& comm, std::span<double> values,
@@ -404,22 +411,27 @@ void Mesh::exchange_start(par::Comm& comm, std::span<double> values,
       for (std::size_t c = 0; c < nc; ++c)
         out[i * nc + c] = values[static_cast<std::size_t>(idx[i]) * nc + c];
     bytes += out.size() * sizeof(double);
+    obs::flow_emit(r, obs::kFlowHaloExchange, true);
     comm.send(r, kHaloExchangeTag, out);
   }
   obs::counter_add(obs::wellknown::ghost_exchange_bytes(), bytes);
+  obs::overlap_mark_start();
 }
 
 void Mesh::exchange_finish(par::Comm& comm, std::span<double> values,
                            int ncomp) const {
   check_finish(HaloOp::kExchange, ncomp);
+  obs::overlap_mark_finish_begin();
   const std::size_t nc = static_cast<std::size_t>(ncomp);
   for (int r : halo_owner_ranks_) {
     const auto& idx = recv_idx[static_cast<std::size_t>(r)];
     const std::vector<double> in = comm.recv<double>(r, kHaloExchangeTag);
+    obs::flow_emit(r, obs::kFlowHaloExchange, false);
     for (std::size_t i = 0; i < idx.size(); ++i)
       for (std::size_t c = 0; c < nc; ++c)
         values[static_cast<std::size_t>(idx[i]) * nc + c] = in[i * nc + c];
   }
+  obs::overlap_mark_finish_end();
 }
 
 void Mesh::exchange(par::Comm& comm, std::span<double> values,

@@ -1,0 +1,493 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "par/comm.hpp"
+
+namespace alps::obs::analysis {
+
+namespace {
+
+// ---- per-rank baselines ------------------------------------------------
+//
+// analyze_step reports *deltas* since the previous call, so each rank
+// keeps the cumulative phase seconds and wait buckets it last reported.
+// Baselines are invalidated when obs::world_generation() changes (a new
+// par::run world reset all the underlying accumulators).
+
+struct WaitCum {
+  WaitBuckets w;
+  std::map<int, double> late_by_rank;
+};
+
+struct RankBaseline {
+  std::map<std::string, double> phases;
+  std::map<std::string, WaitCum> waits;
+};
+
+struct AnalysisState {
+  std::mutex mtx;
+  std::uint64_t generation = 0;
+  std::vector<RankBaseline> baselines;
+  std::vector<StepRecord> records;  // written by rank 0 only
+};
+
+AnalysisState& state() {
+  static AnalysisState s;
+  return s;
+}
+
+/// Fetch this rank's baseline, resetting everything on a new world. The
+/// lock is only contended at world boundaries and analyze_step entry.
+RankBaseline& baseline_for(int rank, int nranks) {
+  AnalysisState& s = state();
+  const std::uint64_t gen = world_generation();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  if (s.generation != gen) {
+    s.generation = gen;
+    s.baselines.assign(static_cast<std::size_t>(nranks), RankBaseline{});
+    s.records.clear();
+  }
+  if (s.baselines.size() < static_cast<std::size_t>(nranks))
+    s.baselines.resize(static_cast<std::size_t>(nranks));
+  return s.baselines[static_cast<std::size_t>(rank)];
+}
+
+// ---- wire format -------------------------------------------------------
+//
+// Each rank contributes one byte blob, exchanged with allgatherv:
+//   u32 n_phases   { u32 len, chars, f64 seconds } ...
+//   u32 n_waits    { u32 len, chars, f64 x6 buckets, u64 x4 counts,
+//                    u32 n_srcs { i32 rank, f64 seconds } ... } ...
+
+void put_u32(std::vector<std::byte>& b, std::uint32_t v) {
+  const std::size_t off = b.size();
+  b.resize(off + sizeof v);
+  std::memcpy(b.data() + off, &v, sizeof v);
+}
+void put_i32(std::vector<std::byte>& b, std::int32_t v) {
+  const std::size_t off = b.size();
+  b.resize(off + sizeof v);
+  std::memcpy(b.data() + off, &v, sizeof v);
+}
+void put_f64(std::vector<std::byte>& b, double v) {
+  const std::size_t off = b.size();
+  b.resize(off + sizeof v);
+  std::memcpy(b.data() + off, &v, sizeof v);
+}
+void put_u64(std::vector<std::byte>& b, std::uint64_t v) {
+  const std::size_t off = b.size();
+  b.resize(off + sizeof v);
+  std::memcpy(b.data() + off, &v, sizeof v);
+}
+void put_str(std::vector<std::byte>& b, const std::string& s) {
+  put_u32(b, static_cast<std::uint32_t>(s.size()));
+  const std::size_t off = b.size();
+  b.resize(off + s.size());
+  std::memcpy(b.data() + off, s.data(), s.size());
+}
+
+struct Reader {
+  const std::byte* p;
+  const std::byte* end;
+  template <typename T>
+  T get() {
+    T v{};
+    if (p + sizeof v <= end) {
+      std::memcpy(&v, p, sizeof v);
+      p += sizeof v;
+    } else {
+      p = end;
+    }
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = get<std::uint32_t>();
+    if (p + n > end) {
+      p = end;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p), n);
+    p += n;
+    return s;
+  }
+};
+
+struct RankDelta {
+  std::map<std::string, double> phases;
+  std::map<std::string, WaitCum> waits;
+};
+
+std::vector<std::byte> encode(const RankDelta& d) {
+  std::vector<std::byte> b;
+  put_u32(b, static_cast<std::uint32_t>(d.phases.size()));
+  for (const auto& [name, sec] : d.phases) {
+    put_str(b, name);
+    put_f64(b, sec);
+  }
+  put_u32(b, static_cast<std::uint32_t>(d.waits.size()));
+  for (const auto& [name, c] : d.waits) {
+    put_str(b, name);
+    put_f64(b, c.w.late_sender_s);
+    put_f64(b, c.w.transfer_s);
+    put_f64(b, c.w.late_receiver_s);
+    put_f64(b, c.w.collective_s);
+    put_f64(b, c.w.overlap_covered_s);
+    put_f64(b, c.w.overlap_waited_s);
+    put_u64(b, c.w.recvs);
+    put_u64(b, c.w.waited_recvs);
+    put_u64(b, c.w.collectives);
+    put_u64(b, c.w.halo_ops);
+    put_u32(b, static_cast<std::uint32_t>(c.late_by_rank.size()));
+    for (const auto& [src, sec] : c.late_by_rank) {
+      put_i32(b, src);
+      put_f64(b, sec);
+    }
+  }
+  return b;
+}
+
+RankDelta decode(const std::byte* p, std::size_t n) {
+  RankDelta d;
+  Reader r{p, p + n};
+  const std::uint32_t np = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < np && r.p < r.end; ++i) {
+    std::string name = r.str();
+    d.phases[name] = r.get<double>();
+  }
+  const std::uint32_t nw = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < nw && r.p < r.end; ++i) {
+    std::string name = r.str();
+    WaitCum& c = d.waits[name];
+    c.w.late_sender_s = r.get<double>();
+    c.w.transfer_s = r.get<double>();
+    c.w.late_receiver_s = r.get<double>();
+    c.w.collective_s = r.get<double>();
+    c.w.overlap_covered_s = r.get<double>();
+    c.w.overlap_waited_s = r.get<double>();
+    c.w.recvs = r.get<std::uint64_t>();
+    c.w.waited_recvs = r.get<std::uint64_t>();
+    c.w.collectives = r.get<std::uint64_t>();
+    c.w.halo_ops = r.get<std::uint64_t>();
+    const std::uint32_t ns = r.get<std::uint32_t>();
+    for (std::uint32_t j = 0; j < ns && r.p < r.end; ++j) {
+      const int src = r.get<std::int32_t>();
+      c.late_by_rank[src] = r.get<double>();
+    }
+  }
+  return d;
+}
+
+/// This rank's cumulative state minus its baseline; updates the baseline.
+RankDelta local_delta(int rank, int nranks) {
+  RankBaseline& base = baseline_for(rank, nranks);
+  RankDelta d;
+
+  for (const auto& [name, sec] : phase_snapshot()) {
+    const double prev = base.phases.count(name) ? base.phases[name] : 0.0;
+    if (sec - prev > 0) d.phases[name] = sec - prev;
+    base.phases[name] = sec;
+  }
+
+  // wait_samples() excludes the analyzer's own suppressed waits already;
+  // the "(unphased)" bucket (waits outside any OBS_PHASE_SPAN) is kept
+  // out of the per-step record because it has no wall time to validate
+  // against.
+  for (const PhaseWaitSample& s : wait_samples()) {
+    if (s.phase == "(unphased)") continue;
+    WaitCum& prev = base.waits[s.phase];
+    WaitCum cur;
+    cur.w = s.w;
+    for (const auto& [src, sec] : s.late_sender_by_rank)
+      cur.late_by_rank[src] = sec;
+
+    WaitCum delta;
+    delta.w.late_sender_s = cur.w.late_sender_s - prev.w.late_sender_s;
+    delta.w.transfer_s = cur.w.transfer_s - prev.w.transfer_s;
+    delta.w.late_receiver_s = cur.w.late_receiver_s - prev.w.late_receiver_s;
+    delta.w.collective_s = cur.w.collective_s - prev.w.collective_s;
+    delta.w.overlap_covered_s =
+        cur.w.overlap_covered_s - prev.w.overlap_covered_s;
+    delta.w.overlap_waited_s = cur.w.overlap_waited_s - prev.w.overlap_waited_s;
+    delta.w.recvs = cur.w.recvs - prev.w.recvs;
+    delta.w.waited_recvs = cur.w.waited_recvs - prev.w.waited_recvs;
+    delta.w.collectives = cur.w.collectives - prev.w.collectives;
+    delta.w.halo_ops = cur.w.halo_ops - prev.w.halo_ops;
+    for (const auto& [src, sec] : cur.late_by_rank) {
+      const auto it = prev.late_by_rank.find(src);
+      const double ds = sec - (it != prev.late_by_rank.end() ? it->second : 0);
+      if (ds > 0) delta.late_by_rank[src] = ds;
+    }
+    if (delta.w.recvs > 0 || delta.w.collectives > 0 || delta.w.halo_ops > 0 ||
+        delta.w.collective_s > 0)
+      d.waits[s.phase] = delta;
+    prev = cur;
+  }
+  return d;
+}
+
+StepRecord stitch(const std::vector<RankDelta>& deltas, int step) {
+  StepRecord rec;
+  rec.step = step;
+  const int nranks = static_cast<int>(deltas.size());
+
+  // Critical path: per phase, max and mean over ranks with argmax.
+  std::map<std::string, PhaseCritical> crit;
+  for (int r = 0; r < nranks; ++r) {
+    for (const auto& [name, sec] : deltas[static_cast<std::size_t>(r)].phases) {
+      PhaseCritical& c = crit[name];
+      c.phase = name;
+      c.mean_s += sec;
+      if (sec > c.cp_s) {
+        c.cp_s = sec;
+        c.rank = r;
+      }
+    }
+  }
+  for (auto& [name, c] : crit) {
+    c.mean_s /= nranks > 0 ? nranks : 1;
+    c.imbalance = c.mean_s > 0 ? c.cp_s / c.mean_s : 1.0;
+    rec.cp_length_s += c.cp_s;
+    rec.mean_length_s += c.mean_s;
+    rec.critical.push_back(c);
+  }
+  std::sort(rec.critical.begin(), rec.critical.end(),
+            [](const PhaseCritical& a, const PhaseCritical& b) {
+              return a.cp_s > b.cp_s;
+            });
+  rec.cp_imbalance =
+      rec.mean_length_s > 0 ? rec.cp_length_s / rec.mean_length_s : 1.0;
+
+  // Wait states: rank-summed buckets with the worst-blamed sender.
+  std::map<std::string, PhaseWaits> waits;
+  std::map<std::string, std::map<int, double>> blame;
+  std::map<std::string, double> max_blocked;
+  for (int r = 0; r < nranks; ++r) {
+    const RankDelta& d = deltas[static_cast<std::size_t>(r)];
+    for (const auto& [name, c] : d.waits) {
+      PhaseWaits& w = waits[name];
+      w.phase = name;
+      w.w.late_sender_s += c.w.late_sender_s;
+      w.w.transfer_s += c.w.transfer_s;
+      w.w.late_receiver_s += c.w.late_receiver_s;
+      w.w.collective_s += c.w.collective_s;
+      w.w.overlap_covered_s += c.w.overlap_covered_s;
+      w.w.overlap_waited_s += c.w.overlap_waited_s;
+      w.w.recvs += c.w.recvs;
+      w.w.waited_recvs += c.w.waited_recvs;
+      w.w.collectives += c.w.collectives;
+      w.w.halo_ops += c.w.halo_ops;
+      const double blocked =
+          c.w.late_sender_s + c.w.transfer_s + c.w.collective_s;
+      max_blocked[name] = std::max(max_blocked[name], blocked);
+      for (const auto& [src, sec] : c.late_by_rank) blame[name][src] += sec;
+    }
+  }
+  // Wall seconds in a second pass: the waits map must already hold every
+  // phase any rank waited in, else early ranks' wall time is dropped.
+  for (int r = 0; r < nranks; ++r)
+    for (const auto& [name, sec] : deltas[static_cast<std::size_t>(r)].phases)
+      if (waits.count(name)) waits[name].wall_s += sec;
+  for (auto& [name, w] : waits) {
+    w.max_blocked_s = max_blocked[name];
+    const double cov = w.w.overlap_covered_s + w.w.overlap_waited_s;
+    if (w.w.halo_ops > 0 && cov > 0) w.overlap = w.w.overlap_covered_s / cov;
+    else if (w.w.halo_ops > 0) w.overlap = 1.0;  // finished with zero wait
+    for (const auto& [src, sec] : blame[name])
+      if (sec > w.blamed_s) {
+        w.blamed_s = sec;
+        w.blamed_rank = src;
+      }
+    rec.waits.push_back(w);
+  }
+  std::sort(rec.waits.begin(), rec.waits.end(),
+            [](const PhaseWaits& a, const PhaseWaits& b) {
+              const double ba = a.w.late_sender_s + a.w.transfer_s +
+                                a.w.collective_s;
+              const double bb = b.w.late_sender_s + b.w.transfer_s +
+                                b.w.collective_s;
+              return ba > bb;
+            });
+  return rec;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+void append_critical(std::ostringstream& os, double length_s, double mean_s,
+                     const std::vector<PhaseCritical>& phases) {
+  os << "{\"length_s\":" << fmt(length_s) << ",\"mean_s\":" << fmt(mean_s)
+     << ",\"imbalance\":" << fmt(mean_s > 0 ? length_s / mean_s : 1.0)
+     << ",\"phases\":[";
+  std::size_t limit = std::min<std::size_t>(phases.size(), 12);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const PhaseCritical& c = phases[i];
+    if (i) os << ",";
+    os << "{\"phase\":\"" << c.phase << "\",\"cp_s\":" << fmt(c.cp_s)
+       << ",\"mean_s\":" << fmt(c.mean_s) << ",\"rank\":" << c.rank
+       << ",\"imbalance\":" << fmt(c.imbalance) << "}";
+  }
+  os << "]}";
+}
+
+void append_waits(std::ostringstream& os,
+                  const std::vector<PhaseWaits>& phases) {
+  os << "{\"phases\":[";
+  std::size_t limit = std::min<std::size_t>(phases.size(), 12);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const PhaseWaits& w = phases[i];
+    if (i) os << ",";
+    os << "{\"phase\":\"" << w.phase << "\",\"wall_s\":" << fmt(w.wall_s)
+       << ",\"late_sender_s\":" << fmt(w.w.late_sender_s)
+       << ",\"transfer_s\":" << fmt(w.w.transfer_s)
+       << ",\"late_receiver_s\":" << fmt(w.w.late_receiver_s)
+       << ",\"collective_s\":" << fmt(w.w.collective_s)
+       << ",\"max_blocked_s\":" << fmt(w.max_blocked_s)
+       << ",\"recvs\":" << w.w.recvs << ",\"waited_recvs\":" << w.w.waited_recvs
+       << ",\"collectives\":" << w.w.collectives
+       << ",\"halo_ops\":" << w.w.halo_ops;
+    if (w.overlap >= 0) os << ",\"overlap\":" << fmt(w.overlap);
+    if (w.blamed_rank >= 0)
+      os << ",\"blamed_rank\":" << w.blamed_rank
+         << ",\"blamed_s\":" << fmt(w.blamed_s);
+    os << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+StepRecord analyze_step(par::Comm& comm, int step) {
+  StepRecord rec;
+  rec.step = step;
+  if (!analysis_enabled()) return rec;
+
+  // The analyzer's own collective must not land in the buckets.
+  wait_suppress(true);
+  const RankDelta mine = local_delta(comm.rank(), comm.size());
+  const std::vector<std::byte> blob = encode(mine);
+  const std::uint64_t my_size = blob.size();
+  const std::vector<std::uint64_t> sizes = comm.allgather(my_size);
+  const std::vector<std::byte> all = comm.allgatherv(blob);
+  wait_suppress(false);
+
+  std::vector<RankDelta> deltas;
+  deltas.reserve(static_cast<std::size_t>(comm.size()));
+  std::size_t off = 0;
+  for (int r = 0; r < comm.size(); ++r) {
+    const std::size_t n = static_cast<std::size_t>(sizes[static_cast<std::size_t>(r)]);
+    deltas.push_back(decode(all.data() + off, n));
+    off += n;
+  }
+  rec = stitch(deltas, step);
+
+  if (comm.rank() == 0) {
+    AnalysisState& s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    s.records.push_back(rec);
+  }
+  return rec;
+}
+
+const std::vector<StepRecord>& step_records() { return state().records; }
+
+void reset_records() {
+  AnalysisState& s = state();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  s.records.clear();
+}
+
+RunSummary summarize(const std::vector<StepRecord>& recs) {
+  RunSummary sum;
+  sum.steps = static_cast<int>(recs.size());
+  std::map<std::string, PhaseCritical> crit;
+  std::map<std::string, PhaseWaits> waits;
+  for (const StepRecord& rec : recs) {
+    sum.cp_length_s += rec.cp_length_s;
+    sum.mean_length_s += rec.mean_length_s;
+    for (const PhaseCritical& c : rec.critical) {
+      PhaseCritical& a = crit[c.phase];
+      a.phase = c.phase;
+      a.cp_s += c.cp_s;
+      a.mean_s += c.mean_s;
+      if (c.cp_s > 0) a.rank = c.rank;  // last step's slowest rank
+    }
+    for (const PhaseWaits& w : rec.waits) {
+      PhaseWaits& a = waits[w.phase];
+      a.phase = w.phase;
+      a.wall_s += w.wall_s;
+      a.w.late_sender_s += w.w.late_sender_s;
+      a.w.transfer_s += w.w.transfer_s;
+      a.w.late_receiver_s += w.w.late_receiver_s;
+      a.w.collective_s += w.w.collective_s;
+      a.w.overlap_covered_s += w.w.overlap_covered_s;
+      a.w.overlap_waited_s += w.w.overlap_waited_s;
+      a.w.recvs += w.w.recvs;
+      a.w.waited_recvs += w.w.waited_recvs;
+      a.w.collectives += w.w.collectives;
+      a.w.halo_ops += w.w.halo_ops;
+      a.max_blocked_s = std::max(a.max_blocked_s, w.max_blocked_s);
+      if (w.blamed_s > a.blamed_s) {
+        a.blamed_s = w.blamed_s;
+        a.blamed_rank = w.blamed_rank;
+      }
+    }
+  }
+  for (auto& [name, c] : crit) {
+    c.imbalance = c.mean_s > 0 ? c.cp_s / c.mean_s : 1.0;
+    sum.critical.push_back(c);
+  }
+  std::sort(sum.critical.begin(), sum.critical.end(),
+            [](const PhaseCritical& a, const PhaseCritical& b) {
+              return a.cp_s > b.cp_s;
+            });
+  for (auto& [name, w] : waits) {
+    const double cov = w.w.overlap_covered_s + w.w.overlap_waited_s;
+    if (w.w.halo_ops > 0 && cov > 0) w.overlap = w.w.overlap_covered_s / cov;
+    else if (w.w.halo_ops > 0) w.overlap = 1.0;
+    sum.waits.push_back(w);
+  }
+  std::sort(sum.waits.begin(), sum.waits.end(),
+            [](const PhaseWaits& a, const PhaseWaits& b) {
+              const double ba =
+                  a.w.late_sender_s + a.w.transfer_s + a.w.collective_s;
+              const double bb =
+                  b.w.late_sender_s + b.w.transfer_s + b.w.collective_s;
+              return ba > bb;
+            });
+  return sum;
+}
+
+std::string critical_path_json(const StepRecord& rec) {
+  std::ostringstream os;
+  append_critical(os, rec.cp_length_s, rec.mean_length_s, rec.critical);
+  return os.str();
+}
+
+std::string wait_states_json(const StepRecord& rec) {
+  std::ostringstream os;
+  append_waits(os, rec.waits);
+  return os.str();
+}
+
+std::string critical_path_json(const RunSummary& sum) {
+  std::ostringstream os;
+  append_critical(os, sum.cp_length_s, sum.mean_length_s, sum.critical);
+  return os.str();
+}
+
+std::string wait_states_json(const RunSummary& sum) {
+  std::ostringstream os;
+  append_waits(os, sum.waits);
+  return os.str();
+}
+
+}  // namespace alps::obs::analysis

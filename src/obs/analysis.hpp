@@ -1,0 +1,100 @@
+#pragma once
+// obs::analysis — cross-rank wait-state attribution and critical-path
+// profiling over the span/counter/wait streams (DESIGN.md §11).
+//
+// The raw instrumentation (obs.hpp wait-state section) is strictly
+// rank-local: each rank accumulates, per innermost phase, how long it was
+// blocked and why (late sender / transfer / collective staging), plus the
+// split-phase halo overlap marks. This module adds the collective step:
+// analyze_step() is called by every rank at a synchronization point (the
+// rhea timestep loop calls it once per step), exchanges each rank's
+// per-phase deltas since the previous call, and stitches them into
+//
+//  * a step-level critical path: for each phase, the slowest rank and its
+//    time; the chain of per-phase maxima bounds the step (phase-additive —
+//    nested phases like stokes.minres/amg.apply are reported as-is, so
+//    the total is an upper bound when phases overlap);
+//  * per-phase wait-state totals with the most-blamed late sender;
+//  * the achieved-overlap ratio covered/(covered+waited) of the
+//    split-phase halo exchanges, which is in [0, 1] by construction.
+//
+// The analyzer's own collectives run under wait_suppress so they never
+// appear in the buckets they are measuring. Records are retained per
+// world (rank 0 stores them) for bench::Reporter run summaries and for
+// the per-step telemetry blocks validated by scripts/check_analysis.py.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace alps::par {
+class Comm;
+}
+
+namespace alps::obs::analysis {
+
+/// One phase on the step's critical path.
+struct PhaseCritical {
+  std::string phase;
+  double cp_s = 0;       // max over ranks of this step's phase time
+  double mean_s = 0;     // mean over ranks
+  int rank = -1;         // argmax rank (who bounded the step here)
+  double imbalance = 1;  // cp_s / mean_s (1 when balanced or empty)
+};
+
+/// One phase's wait-state totals, summed over ranks for this step.
+struct PhaseWaits {
+  std::string phase;
+  WaitBuckets w;              // rank-summed buckets
+  double wall_s = 0;          // rank-summed phase seconds (for validation)
+  double max_blocked_s = 0;   // worst single-rank blocked time
+  double overlap = -1;        // covered/(covered+waited); -1 = no halo ops
+  int blamed_rank = -1;       // sender with the most attributed late time
+  double blamed_s = 0;
+};
+
+/// Everything analyze_step derives for one timestep; identical on every
+/// rank (built from the same allgathered data).
+struct StepRecord {
+  int step = 0;
+  double cp_length_s = 0;    // sum of per-phase maxima
+  double mean_length_s = 0;  // sum of per-phase means
+  double cp_imbalance = 1;   // cp_length_s / mean_length_s
+  std::vector<PhaseCritical> critical;  // sorted by cp_s, descending
+  std::vector<PhaseWaits> waits;        // sorted by blocked time, descending
+};
+
+/// Collective: exchange this rank's per-phase time and wait deltas since
+/// the previous analyze_step (or world start) and return the stitched
+/// step record. Every rank of `comm` must call it together; rank 0 also
+/// appends the record to step_records(). Returns an empty record when
+/// analysis is disabled (still collective-safe: no communication happens).
+StepRecord analyze_step(par::Comm& comm, int step);
+
+/// Records stored by rank 0's analyze_step calls in the current world,
+/// oldest first. Read from the main thread after par::run, or clear
+/// between bench repetitions with reset_records().
+const std::vector<StepRecord>& step_records();
+void reset_records();
+
+/// Run-level roll-up of `recs` (step-summed phases, re-sorted).
+struct RunSummary {
+  int steps = 0;
+  double cp_length_s = 0;
+  double mean_length_s = 0;
+  std::vector<PhaseCritical> critical;
+  std::vector<PhaseWaits> waits;
+};
+RunSummary summarize(const std::vector<StepRecord>& recs);
+
+/// JSON object fragments (no surrounding key) for telemetry / BENCH_*.json
+/// embedding: {"length_s":..,"phases":[{"phase":..,"cp_s":..,"rank":..},..]}
+/// and {"phases":[{"phase":..,"late_sender_s":..,..,"overlap":..},..]}.
+std::string critical_path_json(const StepRecord& rec);
+std::string wait_states_json(const StepRecord& rec);
+std::string critical_path_json(const RunSummary& sum);
+std::string wait_states_json(const RunSummary& sum);
+
+}  // namespace alps::obs::analysis

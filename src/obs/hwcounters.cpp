@@ -1,0 +1,255 @@
+#include "obs/hwcounters.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace alps::obs {
+
+namespace {
+
+constexpr int kEvents = 4;  // cycles, instructions, llc, stalled
+
+// -1 = not yet read from ALPS_HW.
+std::atomic<int> g_hw{-1};
+// 0 = unknown, 1 = available, 2 = unavailable (probe failed or forced).
+std::atomic<int> g_avail{0};
+std::atomic<bool> g_forced_unavailable{false};
+
+int hw_init() {
+  int on = 0;
+  if (const char* env = std::getenv("ALPS_HW")) {
+    const std::string v(env);
+    if (!v.empty() && v != "0") on = 1;
+  }
+  g_hw.store(on, std::memory_order_relaxed);
+  return on;
+}
+
+// Span-name filter from ALPS_HW ("1"/"all" = everything).
+struct Filter {
+  bool all = true;
+  std::vector<std::string> names;
+};
+
+const Filter& filter() {
+  static const Filter f = [] {
+    Filter out;
+    const char* env = std::getenv("ALPS_HW");
+    if (env == nullptr) return out;
+    const std::string v(env);
+    if (v.empty() || v == "0" || v == "1" || v == "all") return out;
+    out.all = false;
+    std::stringstream ss(v);
+    std::string item;
+    while (std::getline(ss, item, ','))
+      if (!item.empty()) out.names.push_back(item);
+    return out;
+  }();
+  return f;
+}
+
+// Per-rank accumulation slots; same single-writer model as obs spans.
+struct HwSlot {
+  std::unordered_map<const char*, HwCounts> by_name;
+};
+
+struct HwState {
+  std::mutex mtx;  // guards slots resize only (world_begin)
+  std::vector<std::unique_ptr<HwSlot>> slots;
+};
+
+HwState& hw_state() {
+  static HwState s;
+  return s;
+}
+
+thread_local HwSlot* tl_hw_slot = nullptr;
+
+#ifdef __linux__
+
+long perf_open(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = type;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0);
+}
+
+// One counter file descriptor set per thread, opened lazily on the first
+// active span and closed when the thread exits.
+struct ThreadCounters {
+  int fd[kEvents] = {-1, -1, -1, -1};
+  bool opened = false;
+
+  void open() {
+    opened = true;
+    fd[0] = static_cast<int>(
+        perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES));
+    fd[1] = static_cast<int>(
+        perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS));
+    fd[2] = static_cast<int>(
+        perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES));
+    fd[3] = static_cast<int>(perf_open(
+        PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND));
+  }
+  void read_now(std::uint64_t v[kEvents]) {
+    for (int i = 0; i < kEvents; ++i) {
+      v[i] = 0;
+      if (fd[i] >= 0 && read(fd[i], &v[i], sizeof v[i]) != sizeof v[i])
+        v[i] = 0;
+    }
+  }
+  ~ThreadCounters() {
+    for (int i = 0; i < kEvents; ++i)
+      if (fd[i] >= 0) close(fd[i]);
+  }
+};
+
+thread_local ThreadCounters tl_counters;
+
+int probe_available() {
+  const long fd = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  if (fd < 0) return 2;
+  close(static_cast<int>(fd));
+  return 1;
+}
+
+#else  // !__linux__
+
+struct ThreadCounters {
+  int fd[kEvents] = {-1, -1, -1, -1};
+  bool opened = false;
+  void open() { opened = true; }
+  void read_now(std::uint64_t v[kEvents]) {
+    for (int i = 0; i < kEvents; ++i) v[i] = 0;
+  }
+};
+
+thread_local ThreadCounters tl_counters;
+
+int probe_available() { return 2; }
+
+#endif
+
+int availability() {
+  if (g_forced_unavailable.load(std::memory_order_relaxed)) return 2;
+  int a = g_avail.load(std::memory_order_relaxed);
+  if (a == 0) {
+    a = probe_available();
+    g_avail.store(a, std::memory_order_relaxed);
+  }
+  return a;
+}
+
+}  // namespace
+
+bool hw_enabled() {
+  const int v = g_hw.load(std::memory_order_relaxed);
+  return (v >= 0 ? v : hw_init()) != 0;
+}
+
+void set_hw_enabled(bool on) {
+  g_hw.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool hw_span_selected(const char* name) {
+  const Filter& f = filter();
+  if (f.all) return true;
+  for (const std::string& n : f.names)
+    if (n == name) return true;
+  return false;
+}
+
+bool hw_available() { return availability() == 1; }
+
+void set_hw_unavailable_for_testing(bool forced) {
+  g_forced_unavailable.store(forced, std::memory_order_relaxed);
+}
+
+HwSpan::HwSpan(const char* name) {
+  if (!hw_enabled() || tl_hw_slot == nullptr || !hw_span_selected(name))
+    return;
+  name_ = name;
+  if (availability() != 1) return;
+  if (!tl_counters.opened) tl_counters.open();
+  tl_counters.read_now(v0_);
+}
+
+HwSpan::~HwSpan() {
+  if (name_ == nullptr || tl_hw_slot == nullptr) return;
+  HwCounts& c = tl_hw_slot->by_name[name_];
+  c.spans++;
+  if (availability() != 1 || !tl_counters.opened) return;
+  std::uint64_t v1[kEvents];
+  tl_counters.read_now(v1);
+  const bool ok[kEvents] = {
+      tl_counters.fd[0] >= 0, tl_counters.fd[1] >= 0,
+      tl_counters.fd[2] >= 0, tl_counters.fd[3] >= 0};
+  if (ok[0] && v1[0] >= v0_[0]) { c.cycles += v1[0] - v0_[0]; c.cycles_ok = true; }
+  if (ok[1] && v1[1] >= v0_[1]) { c.instructions += v1[1] - v0_[1]; c.instructions_ok = true; }
+  if (ok[2] && v1[2] >= v0_[2]) { c.llc_misses += v1[2] - v0_[2]; c.llc_ok = true; }
+  if (ok[3] && v1[3] >= v0_[3]) { c.stalled_cycles += v1[3] - v0_[3]; c.stalled_ok = true; }
+}
+
+std::vector<std::pair<std::string, HwCounts>> aggregate_hw() {
+  HwState& s = hw_state();
+  std::map<std::string, HwCounts> merged;
+  for (const auto& slot : s.slots) {
+    if (!slot) continue;
+    for (const auto& [name, c] : slot->by_name) {
+      HwCounts& m = merged[name];
+      m.cycles += c.cycles;
+      m.instructions += c.instructions;
+      m.llc_misses += c.llc_misses;
+      m.stalled_cycles += c.stalled_cycles;
+      m.spans += c.spans;
+      m.cycles_ok = m.cycles_ok || c.cycles_ok;
+      m.instructions_ok = m.instructions_ok || c.instructions_ok;
+      m.llc_ok = m.llc_ok || c.llc_ok;
+      m.stalled_ok = m.stalled_ok || c.stalled_ok;
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+namespace detail {
+
+void world_begin(int nranks) {
+  HwState& s = hw_state();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  s.slots.clear();
+  for (int r = 0; r < nranks; ++r)
+    s.slots.push_back(std::make_unique<HwSlot>());
+}
+
+void rank_bind(int rank) {
+  HwState& s = hw_state();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  tl_hw_slot = (rank >= 0 && static_cast<std::size_t>(rank) < s.slots.size())
+                   ? s.slots[static_cast<std::size_t>(rank)].get()
+                   : nullptr;
+}
+
+void rank_unbind() { tl_hw_slot = nullptr; }
+
+}  // namespace detail
+
+}  // namespace alps::obs

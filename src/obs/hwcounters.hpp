@@ -1,0 +1,104 @@
+#pragma once
+// Hardware-counter sampling for selected spans (DESIGN.md §11).
+//
+// OBS_HW_SPAN(name) attaches a per-thread perf_event group — cycles,
+// instructions, LLC misses, stalled backend cycles — to the enclosing
+// scope and accumulates the deltas into a per-rank, per-name table. This
+// is what pins the "matrix-stream-bound" claim of the batched apply
+// kernel empirically: cycles and LLC misses per apply, with bytes/s and
+// FLOP/s derived by the benches from the known stream sizes.
+//
+// Enablement and fallback:
+//  * off unless ALPS_HW is set (=1/all samples every OBS_HW_SPAN site;
+//    a comma list restricts sampling to those span names) or
+//    set_hw_enabled(true) is called — a disabled span costs one relaxed
+//    atomic load;
+//  * perf_event_open needs permission (perf_event_paranoid, seccomp);
+//    when the probe fails — unprivileged CI, non-Linux — sampling
+//    degrades to span counting with every counter flagged unavailable,
+//    and aggregate_hw() reports that instead of fabricating zeros;
+//  * individual events may be unsupported (no LLC event in VMs): each
+//    counter carries its own ok flag.
+//
+// -DALPS_OBS_DISABLE compiles OBS_HW_SPAN out entirely, like the other
+// span macros.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alps::obs {
+
+/// Accumulated counter deltas for one span name on one rank (or summed
+/// across ranks by aggregate_hw).
+struct HwCounts {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t stalled_cycles = 0;
+  std::uint64_t spans = 0;  // OBS_HW_SPAN scopes that closed
+  bool cycles_ok = false;
+  bool instructions_ok = false;
+  bool llc_ok = false;
+  bool stalled_ok = false;
+  /// True when at least one counter delivered real counts.
+  bool available() const {
+    return cycles_ok || instructions_ok || llc_ok || stalled_ok;
+  }
+};
+
+/// True when ALPS_HW is set (and not "0") or set_hw_enabled(true) was
+/// called. This is the cheap gate every OBS_HW_SPAN checks first.
+bool hw_enabled();
+void set_hw_enabled(bool on);  // overrides ALPS_HW
+
+/// True when `name` is selected by ALPS_HW ("1"/"all" selects every
+/// site; a comma list selects by exact span name).
+bool hw_span_selected(const char* name);
+
+/// True when perf_event_open works in this process (probed once).
+bool hw_available();
+/// Force the unavailable path regardless of the probe (tests).
+void set_hw_unavailable_for_testing(bool forced);
+
+/// RAII sampler: reads the thread's counter group at entry and exit and
+/// adds the deltas under `name` for the bound rank. Inactive (and nearly
+/// free) when disabled, unselected, or on unbound threads.
+class HwSpan {
+ public:
+  explicit HwSpan(const char* name);
+  ~HwSpan();
+  HwSpan(const HwSpan&) = delete;
+  HwSpan& operator=(const HwSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr = inactive
+  std::uint64_t v0_[4] = {0, 0, 0, 0};
+};
+
+/// Per-name counts summed over all rank slots, sorted by name. Spans that
+/// ran while perf was unavailable contribute span counts with every ok
+/// flag false.
+std::vector<std::pair<std::string, HwCounts>> aggregate_hw();
+
+namespace detail {
+// Called by obs world/rank lifecycle (obs.cpp).
+void world_begin(int nranks);
+void rank_bind(int rank);
+void rank_unbind();
+}  // namespace detail
+
+}  // namespace alps::obs
+
+#ifndef ALPS_OBS_DISABLE
+#ifndef ALPS_OBS_CONCAT
+#define ALPS_OBS_CONCAT2(a, b) a##b
+#define ALPS_OBS_CONCAT(a, b) ALPS_OBS_CONCAT2(a, b)
+#endif
+/// Hardware-counter scoped span (see obs/hwcounters.hpp).
+#define OBS_HW_SPAN(name) \
+  ::alps::obs::HwSpan ALPS_OBS_CONCAT(obs_hw_span_, __LINE__)(name)
+#else
+#define OBS_HW_SPAN(name) ((void)0)
+#endif

@@ -1,6 +1,7 @@
 #include "obs/obs.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,8 @@
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "obs/hwcounters.hpp"
 
 namespace alps::obs {
 
@@ -48,15 +51,39 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Per-phase wait buckets plus the per-source late-sender attribution.
+struct PhaseWaitSlot {
+  WaitBuckets w;
+  std::map<int, double> late_sender_by_rank;
+};
+
 // One slot per rank. The owning rank thread is the only writer; the main
 // thread reads only after par::run joins the workers (the join provides
 // the happens-before edge, so no per-event synchronization is needed).
 struct RankSlot {
+  int rank = -1;
   std::vector<SpanEvent> ring;
   std::size_t count = 0;  // events stored (<= ring.size())
   std::uint64_t dropped = 0;
   std::vector<std::uint64_t> counters;
   std::unordered_map<std::string, double> phases;
+  // Wait-state accounting (keyed by the phase-name literal's address —
+  // phase names are string literals, so the pointer is a stable key; the
+  // aggregation layer re-merges by content).
+  std::unordered_map<const char*, PhaseWaitSlot> waits;
+  double recv_blocked_s = 0;  // running total, snapshotted by halo marks
+  struct OverlapFrame {
+    std::uint64_t start_ns = 0;
+    double covered_s = 0;
+    double blocked0_s = 0;
+    const char* phase = nullptr;
+  };
+  std::array<OverlapFrame, 4> overlap_stack{};
+  int overlap_depth = 0;
+  // Cross-rank flow events (bounded by the ring capacity).
+  std::vector<FlowEvent> flows;
+  std::uint64_t flow_dropped = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> flow_seq;
 };
 
 struct State {
@@ -84,6 +111,27 @@ State& state() {
 
 thread_local RankSlot* tl_slot = nullptr;
 
+// Innermost-first stack of open phase-span names on this thread.
+constexpr int kPhaseStackDepth = 16;
+thread_local const char* tl_phase_stack[kPhaseStackDepth];
+thread_local int tl_phase_depth = 0;
+thread_local bool tl_wait_suppressed = false;
+
+std::atomic<std::uint64_t> g_generation{0};
+
+// -1 = not yet initialized from ALPS_ANALYSIS (default: on).
+std::atomic<int> g_analysis{-1};
+
+int analysis_init() {
+  int on = 1;
+  if (const char* env = std::getenv("ALPS_ANALYSIS")) {
+    const std::string v(env);
+    if (v == "0" || v.empty()) on = 0;
+  }
+  g_analysis.store(on, std::memory_order_relaxed);
+  return on;
+}
+
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -105,17 +153,34 @@ void world_begin(int nranks) {
   s.slots.clear();
   for (int r = 0; r < nranks; ++r) {
     auto slot = std::make_unique<RankSlot>();
+    slot->rank = r;
     slot->ring.resize(s.ring_capacity);
     s.slots.push_back(std::move(slot));
   }
   s.epoch = Clock::now();
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  detail::world_begin(nranks);
 }
 
-void rank_bind(int rank) { tl_slot = &checked_slot(rank); }
+void rank_bind(int rank) {
+  tl_slot = &checked_slot(rank);
+  tl_phase_depth = 0;
+  tl_wait_suppressed = false;
+  detail::rank_bind(rank);
+}
 
-void rank_unbind() { tl_slot = nullptr; }
+void rank_unbind() {
+  tl_slot = nullptr;
+  detail::rank_unbind();
+}
 
 int world_size() { return static_cast<int>(state().slots.size()); }
+
+std::uint64_t world_generation() {
+  return g_generation.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() { return now_ns(); }
 
 std::size_t set_ring_capacity(std::size_t events_per_rank) {
   State& s = state();
@@ -130,12 +195,15 @@ Span::Span(const char* name, Cat cat, bool accumulate_phase)
     : name_(name), cat_(cat), phase_(accumulate_phase) {
   if (tl_slot == nullptr) return;
   record_ = category_enabled(cat);
+  if (phase_ && tl_phase_depth < kPhaseStackDepth)
+    tl_phase_stack[tl_phase_depth++] = name;
   if (record_ || phase_) t0_ = now_ns();
 }
 
 Span::~Span() {
   RankSlot* slot = tl_slot;
   if (slot == nullptr || !(record_ || phase_)) return;
+  if (phase_ && tl_phase_depth > 0) --tl_phase_depth;
   const std::uint64_t t1 = now_ns();
   if (phase_)
     slot->phases[name_] += static_cast<double>(t1 - t0_) * 1e-9;
@@ -295,6 +363,204 @@ std::vector<PhaseBreakdown> aggregate_phases() {
   return out;
 }
 
+const char* current_phase() {
+  return tl_phase_depth > 0 ? tl_phase_stack[tl_phase_depth - 1] : nullptr;
+}
+
+std::vector<std::pair<std::string, std::vector<double>>> phase_table() {
+  State& s = state();
+  const std::size_t p = s.slots.size();
+  std::map<std::string, std::vector<double>> by_name;
+  for (std::size_t r = 0; r < p; ++r)
+    for (const auto& [name, secs] : s.slots[r]->phases) {
+      auto& v = by_name[name];
+      v.resize(p, 0.0);
+      v[r] = secs;
+    }
+  return {by_name.begin(), by_name.end()};
+}
+
+std::vector<std::pair<std::string, double>> phase_snapshot() {
+  const RankSlot* slot = tl_slot;
+  if (slot == nullptr) return {};
+  std::vector<std::pair<std::string, double>> out(slot->phases.begin(),
+                                                  slot->phases.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- wait-state accounting --------------------------------------------
+
+bool analysis_enabled() {
+  const int v = g_analysis.load(std::memory_order_relaxed);
+  return (v >= 0 ? v : analysis_init()) != 0;
+}
+
+void set_analysis_enabled(bool on) {
+  g_analysis.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t wait_now() {
+  if (tl_slot == nullptr || tl_wait_suppressed || !analysis_enabled())
+    return 0;
+  return now_ns();
+}
+
+void wait_suppress(bool on) { tl_wait_suppressed = on; }
+
+namespace {
+
+// The phase-pointer key of the bucket that waits outside any OBS_PHASE_SPAN
+// land in; excluded from per-phase invariants but kept for the totals.
+constexpr const char* kUnphased = "(unphased)";
+
+PhaseWaitSlot& wait_slot(RankSlot& slot) {
+  const char* phase = current_phase();
+  return slot.waits[phase != nullptr ? phase : kUnphased];
+}
+
+}  // namespace
+
+void wait_record_recv(int src, std::uint64_t enter_ns, std::uint64_t sent_ns,
+                      std::uint64_t got_ns) {
+  RankSlot* slot = tl_slot;
+  if (slot == nullptr || enter_ns == 0 || tl_wait_suppressed) return;
+  PhaseWaitSlot& w = wait_slot(*slot);
+  w.w.recvs++;
+  // sent_ns == 0 means the sender recorded no post time (unbound thread
+  // or suppressed): no late-sender blame, no late-receiver credit — all
+  // blocked time counts as transfer.
+  const bool sender_known = sent_ns != 0;
+  // Blocked interval [enter, got): the part before the sender posted the
+  // message is the sender's fault, the rest is delivery.
+  const std::uint64_t send_visible =
+      sender_known ? std::min(std::max(sent_ns, enter_ns), got_ns) : enter_ns;
+  const double late_s = static_cast<double>(send_visible - enter_ns) * 1e-9;
+  const double transfer_s = static_cast<double>(got_ns - send_visible) * 1e-9;
+  if (got_ns > enter_ns) {
+    w.w.waited_recvs++;
+    slot->recv_blocked_s += static_cast<double>(got_ns - enter_ns) * 1e-9;
+  }
+  w.w.late_sender_s += late_s;
+  w.w.transfer_s += transfer_s;
+  if (late_s > 0) w.late_sender_by_rank[src] += late_s;
+  // Queued time: the message waited for *us* — communication this rank
+  // already hid behind local work.
+  if (sender_known && enter_ns > sent_ns)
+    w.w.late_receiver_s += static_cast<double>(enter_ns - sent_ns) * 1e-9;
+}
+
+void wait_record_collective(std::uint64_t enter_ns, std::uint64_t resume_ns,
+                            bool count_call) {
+  RankSlot* slot = tl_slot;
+  if (slot == nullptr || enter_ns == 0 || tl_wait_suppressed) return;
+  PhaseWaitSlot& w = wait_slot(*slot);
+  if (count_call) w.w.collectives++;
+  if (resume_ns > enter_ns)
+    w.w.collective_s += static_cast<double>(resume_ns - enter_ns) * 1e-9;
+}
+
+void overlap_mark_start() {
+  RankSlot* slot = tl_slot;
+  if (slot == nullptr || !analysis_enabled()) return;
+  if (slot->overlap_depth >=
+      static_cast<int>(slot->overlap_stack.size()))
+    return;  // nested deeper than tracked: drop the frame, keep counting
+  auto& f = slot->overlap_stack[static_cast<std::size_t>(slot->overlap_depth++)];
+  f.start_ns = now_ns();
+  f.blocked0_s = slot->recv_blocked_s;
+  f.phase = current_phase();
+}
+
+void overlap_mark_finish_begin() {
+  RankSlot* slot = tl_slot;
+  if (slot == nullptr || !analysis_enabled() || slot->overlap_depth <= 0)
+    return;
+  auto& f = slot->overlap_stack[static_cast<std::size_t>(slot->overlap_depth - 1)];
+  f.covered_s = static_cast<double>(now_ns() - f.start_ns) * 1e-9;
+  f.blocked0_s = slot->recv_blocked_s;
+}
+
+void overlap_mark_finish_end() {
+  RankSlot* slot = tl_slot;
+  if (slot == nullptr || !analysis_enabled() || slot->overlap_depth <= 0)
+    return;
+  auto& f = slot->overlap_stack[static_cast<std::size_t>(--slot->overlap_depth)];
+  const char* phase = f.phase != nullptr ? f.phase : kUnphased;
+  PhaseWaitSlot& w = slot->waits[phase];
+  w.w.halo_ops++;
+  w.w.overlap_covered_s += f.covered_s;
+  w.w.overlap_waited_s += slot->recv_blocked_s - f.blocked0_s;
+}
+
+std::vector<PhaseWaitSample> wait_samples(int rank) {
+  const RankSlot& slot = checked_slot(rank);
+  // Merge by phase *content*: identical literals in different translation
+  // units may have different addresses.
+  std::map<std::string, PhaseWaitSlot> merged;
+  for (const auto& [phase, pw] : slot.waits) {
+    PhaseWaitSlot& m = merged[phase];
+    m.w.late_sender_s += pw.w.late_sender_s;
+    m.w.transfer_s += pw.w.transfer_s;
+    m.w.late_receiver_s += pw.w.late_receiver_s;
+    m.w.collective_s += pw.w.collective_s;
+    m.w.overlap_covered_s += pw.w.overlap_covered_s;
+    m.w.overlap_waited_s += pw.w.overlap_waited_s;
+    m.w.recvs += pw.w.recvs;
+    m.w.waited_recvs += pw.w.waited_recvs;
+    m.w.collectives += pw.w.collectives;
+    m.w.halo_ops += pw.w.halo_ops;
+    for (const auto& [src, secs] : pw.late_sender_by_rank)
+      m.late_sender_by_rank[src] += secs;
+  }
+  std::vector<PhaseWaitSample> out;
+  out.reserve(merged.size());
+  for (auto& [phase, pw] : merged) {
+    PhaseWaitSample s;
+    s.phase = phase;
+    s.w = pw.w;
+    s.late_sender_by_rank.assign(pw.late_sender_by_rank.begin(),
+                                 pw.late_sender_by_rank.end());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<PhaseWaitSample> wait_samples() {
+  RankSlot* slot = tl_slot;
+  return slot != nullptr ? wait_samples(slot->rank)
+                         : std::vector<PhaseWaitSample>{};
+}
+
+// ---- flow events ------------------------------------------------------
+
+void flow_emit(int peer, int channel, bool outgoing) {
+  RankSlot* slot = tl_slot;
+  if (slot == nullptr) return;
+  // Both endpoints must advance the same per-(channel, src, dst) sequence
+  // regardless of tracing state, or ids desynchronize when tracing is
+  // toggled mid-run.
+  const int src = outgoing ? slot->rank : peer;
+  const int dst = outgoing ? peer : slot->rank;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(channel) * 4096 +
+       static_cast<std::uint64_t>(src)) *
+          4096 +
+      static_cast<std::uint64_t>(dst);
+  const std::uint32_t seq = slot->flow_seq[key]++;
+  if ((detail::mask() & 1) == 0) return;
+  if (slot->flows.size() >= state().ring_capacity) {
+    slot->flow_dropped++;
+    return;
+  }
+  slot->flows.push_back(
+      FlowEvent{(key << 24) | (seq & 0xffffffu), now_ns(), outgoing});
+}
+
+std::vector<FlowEvent> flows(int rank) { return checked_slot(rank).flows; }
+
+std::uint64_t flow_dropped(int rank) { return checked_slot(rank).flow_dropped; }
+
 // ---- trace export -----------------------------------------------------
 
 namespace {
@@ -345,12 +611,33 @@ std::string chrome_trace_json() {
       out += "}";
     }
   }
+  // Perfetto flow arrows: "s" on the sending rank's *_start span, "f"
+  // (binding to the enclosing slice) on the receiving rank's *_finish
+  // span. Matching requires identical name/cat plus the shared id.
+  for (std::size_t r = 0; r < s.slots.size(); ++r) {
+    for (const FlowEvent& f : s.slots[r]->flows) {
+      comma();
+      out += "{\"ph\": \"";
+      out += f.start ? 's' : 'f';
+      out += "\", \"pid\": 0, \"tid\": " + std::to_string(r) +
+             ", \"name\": \"halo\", \"cat\": \"flow\", \"id\": " +
+             std::to_string(f.id) + ", \"ts\": ";
+      append_double(out, static_cast<double>(f.ns) / 1000.0);
+      if (!f.start) out += ", \"bp\": \"e\"";
+      out += "}";
+    }
+  }
   // Per-rank dropped-event counts so trace validators can reject
   // truncated recordings instead of silently passing them.
   out += "\n], \"displayTimeUnit\": \"ms\", \"alpsDropped\": [";
   for (std::size_t r = 0; r < s.slots.size(); ++r) {
     if (r > 0) out += ", ";
     out += std::to_string(s.slots[r]->dropped);
+  }
+  out += "], \"alpsFlowDropped\": [";
+  for (std::size_t r = 0; r < s.slots.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += std::to_string(s.slots[r]->flow_dropped);
   }
   out += "]}";
   return out;

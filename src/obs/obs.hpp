@@ -67,6 +67,11 @@ void world_begin(int nranks);
 void rank_bind(int rank);
 void rank_unbind();
 int world_size();
+/// Monotone counter bumped by every world_begin; obs::analysis uses it to
+/// invalidate its per-world baselines without a reverse link dependency.
+std::uint64_t world_generation();
+/// Nanoseconds since the current world's trace epoch.
+std::uint64_t trace_now_ns();
 
 /// Ring capacity (span events per rank) for subsequent world_begin calls;
 /// also settable via ALPS_TRACE_BUF. Returns the previous value.
@@ -126,6 +131,107 @@ class Span {
 std::vector<SpanEvent> events(int rank);
 /// Events that did not fit in the ring and were dropped.
 std::uint64_t dropped(int rank);
+
+/// Innermost open OBS_PHASE_SPAN name on the calling thread, or nullptr
+/// outside any phase. Wait-state classification keys its buckets on this.
+const char* current_phase();
+
+// ---- wait-state instrumentation (consumed by obs::analysis) -----------
+//
+// The par::Comm runtime stamps every message envelope with its send time
+// and reports each blocked receive and collective barrier here, so per
+// phase and per rank the blocked time decomposes Scalasca-style:
+//   late_sender_s    waited before the matching send was even posted
+//                    (attributed to the sending rank),
+//   transfer_s       waited after the send was posted (delivery/wakeup),
+//   late_receiver_s  messages sat queued before this rank entered the
+//                    receive — comm time that WAS hidden by local work,
+//   collective_s     blocked in collective staging barriers (imbalance).
+// The split-phase halo marks (overlap_mark_*) additionally measure, per
+// phase, how much of the halo round-trip the caller covered with local
+// compute between *_start and *_finish — the achieved-overlap metric of
+// the PR 5 split apply. Everything here is a relaxed-atomic no-op unless
+// ALPS_ANALYSIS is on (default: on; set ALPS_ANALYSIS=0 to remove the
+// two clock reads per receive).
+
+struct WaitBuckets {
+  double late_sender_s = 0, transfer_s = 0, late_receiver_s = 0,
+         collective_s = 0;
+  double overlap_covered_s = 0;  // compute between halo start and finish
+  double overlap_waited_s = 0;   // blocked inside halo finish
+  std::uint64_t recvs = 0, waited_recvs = 0, collectives = 0, halo_ops = 0;
+};
+
+/// True when wait-state accounting is active (ALPS_ANALYSIS, default on).
+bool analysis_enabled();
+void set_analysis_enabled(bool on);  // overrides ALPS_ANALYSIS
+
+/// trace_now_ns() when accounting is active on a bound rank thread, else
+/// 0 — the sentinel the recorders use to skip disabled call sites.
+std::uint64_t wait_now();
+/// Thread-local recursion guard: while suppressed, the calling thread's
+/// waits are not recorded (obs::analysis uses it so the analyzer's own
+/// collectives do not pollute the buckets it is measuring).
+void wait_suppress(bool on);
+void wait_record_recv(int src, std::uint64_t enter_ns, std::uint64_t sent_ns,
+                      std::uint64_t got_ns);
+void wait_record_collective(std::uint64_t enter_ns, std::uint64_t resume_ns,
+                            bool count_call = true);
+/// Split-phase halo markers: start = sends posted, finish_begin = caller
+/// done with overlapped compute, finish_end = ghost data consumed.
+void overlap_mark_start();
+void overlap_mark_finish_begin();
+void overlap_mark_finish_end();
+
+/// One phase's wait buckets on one rank, with the per-source-rank
+/// late-sender attribution (who this rank waited for, and how long).
+struct PhaseWaitSample {
+  std::string phase;
+  WaitBuckets w;
+  std::vector<std::pair<int, double>> late_sender_by_rank;  // sorted by rank
+};
+/// Wait buckets of `rank`, one entry per phase that recorded any wait.
+/// Safe from the owning rank thread or after par::run has joined.
+std::vector<PhaseWaitSample> wait_samples(int rank);
+/// Same, for the calling thread's bound rank (empty when unbound).
+std::vector<PhaseWaitSample> wait_samples();
+/// Per-phase cumulative seconds of every rank: {name, seconds[rank]}.
+/// Call after par::run has joined (main thread).
+std::vector<std::pair<std::string, std::vector<double>>> phase_table();
+/// All phase accumulators of the calling thread's rank.
+std::vector<std::pair<std::string, double>> phase_snapshot();
+
+// ---- cross-rank flow events -------------------------------------------
+//
+// Perfetto flow arrows linking the split-phase halo: the sender records a
+// flow start ("s") inside its *_start span, the receiver records the
+// matching finish ("f") inside its *_finish span. Ids are derived from a
+// per-(channel, src, dst) sequence counter on both sides — the mailbox
+// delivers same-channel messages FIFO, so the k-th send matches the k-th
+// receive and both ends compute the same id without shipping it.
+
+struct FlowEvent {
+  std::uint64_t id = 0;
+  std::uint64_t ns = 0;
+  bool start = false;
+};
+
+/// Flow channels (part of the flow id, so arrows of different operations
+/// can never cross-link).
+enum : int {
+  kFlowHaloAccumulate = 0,
+  kFlowHaloExchange = 1,
+  kFlowGhostForward = 2,
+  kFlowGhostReverse = 3,
+};
+
+/// Record one flow endpoint with `peer` on `channel`. `outgoing` is true
+/// on the sending side. The sequence counter always advances so both
+/// sides stay matched even when tracing toggles mid-run; the event itself
+/// is recorded only while tracing is enabled.
+void flow_emit(int peer, int channel, bool outgoing);
+std::vector<FlowEvent> flows(int rank);
+std::uint64_t flow_dropped(int rank);
 
 // ---- counters ---------------------------------------------------------
 

@@ -114,6 +114,13 @@ TelemetryRecord& TelemetryRecord::field(const char* key,
   return *this;
 }
 
+TelemetryRecord& TelemetryRecord::field_json(const char* key,
+                                             const std::string& raw) {
+  comma();
+  body_ += '"' + std::string(key) + "\": " + raw;
+  return *this;
+}
+
 TelemetryRecord& TelemetryRecord::field(const char* key,
                                         std::span<const std::int64_t> v) {
   comma();

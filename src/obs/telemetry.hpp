@@ -55,6 +55,8 @@ class TelemetryRecord {
   TelemetryRecord& field(const char* key, const std::string& v);
   /// Integer array value, e.g. per-level element counts.
   TelemetryRecord& field(const char* key, std::span<const std::int64_t> v);
+  /// Pre-serialized JSON value emitted verbatim (obs::analysis blocks).
+  TelemetryRecord& field_json(const char* key, const std::string& raw);
 
   /// The record as a single JSON object line (no trailing newline).
   std::string json() const { return "{" + body_ + "}"; }

@@ -23,7 +23,8 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
   {
     std::lock_guard<std::mutex> lock(box.mtx);
     box.queue.push_back(detail::Envelope{
-        rank_, tag, std::vector<std::byte>(data.begin(), data.end())});
+        rank_, tag, obs::wait_now(),
+        std::vector<std::byte>(data.begin(), data.end())});
   }
   box.cv.notify_all();
 }
@@ -32,13 +33,20 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   // With ALPS_TRACE=comm this exposes receive-wait time — the per-rank
   // imbalance signal — without touching the hot path otherwise.
   OBS_COMM_SPAN("par.recv");
+  // Wait-state accounting (obs::analysis): when the matching envelope is
+  // found, the blocked interval [enter, now) is classified against the
+  // envelope's send timestamp. wait_now() is 0 when accounting is off.
+  const std::uint64_t t_enter = obs::wait_now();
   detail::Mailbox& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
   std::unique_lock<std::mutex> lock(box.mtx);
   for (;;) {
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
       if (it->src == src && it->tag == tag) {
         std::vector<std::byte> data = std::move(it->data);
+        const std::uint64_t sent_ns = it->sent_ns;
         box.queue.erase(it);
+        if (t_enter != 0)
+          obs::wait_record_recv(src, t_enter, sent_ns, obs::wait_now());
         return data;
       }
     }
@@ -66,17 +74,27 @@ void Comm::allreduce_sum(std::span<const double> in, std::span<double> out) {
 void Comm::barrier() {
   OBS_COMM_SPAN("par.barrier");
   world_->stats_.barrier_calls++;
+  const std::uint64_t t0 = obs::wait_now();
   world_->barrier_.arrive_and_wait();
+  if (t0 != 0) obs::wait_record_collective(t0, obs::wait_now());
 }
 
 void Comm::publish(const void* p, std::size_t bytes) {
   world_->stage_[static_cast<std::size_t>(rank_)] = p;
   world_->stage_sizes_[static_cast<std::size_t>(rank_)] = bytes;
+  // Time blocked at the staging barrier is collective imbalance: the
+  // last-arriving rank waits ~0, everyone else absorbs its lateness.
+  const std::uint64_t t0 = obs::wait_now();
   world_->barrier_.arrive_and_wait();  // all contributions visible
+  if (t0 != 0) obs::wait_record_collective(t0, obs::wait_now());
 }
 
 void Comm::release() {
+  const std::uint64_t t0 = obs::wait_now();
   world_->barrier_.arrive_and_wait();  // all readers done; slots reusable
+  // The release barrier belongs to the same collective call: add its
+  // blocked time but do not count a second call.
+  if (t0 != 0) obs::wait_record_collective(t0, obs::wait_now(), false);
 }
 
 }  // namespace alps::par

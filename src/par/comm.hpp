@@ -85,6 +85,11 @@ namespace detail {
 struct Envelope {
   int src = -1;
   int tag = 0;
+  // Post time of the send (obs trace clock). Lets the receiver classify
+  // its blocked time exactly — waited-before-post is late-sender time,
+  // waited-after-post is transfer — without a cross-rank exchange. 0 when
+  // wait-state accounting is off.
+  std::uint64_t sent_ns = 0;
   std::vector<std::byte> data;
 };
 

@@ -1,8 +1,10 @@
 #include "rhea/simulation.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <limits>
+#include <thread>
 
 #include "io/vtk.hpp"
 #include "mesh/fields.hpp"
@@ -260,6 +262,13 @@ void Simulation::run(int steps) {
         energy_ = std::make_unique<energy::EnergySolver>(
             *comm_, mesh_, forest_.connectivity(), solution_, cfg_.energy);
       dt = energy_->stable_dt(*comm_);
+      // Slow-rank test hook: stable_dt's allreduce just synchronized all
+      // ranks, so sleeping here delays this rank's halo sends inside the
+      // energy step — the other ranks' blocked receives must show up as
+      // late-sender time attributed to cfg_.slow_rank.
+      if (comm_->rank() == cfg_.slow_rank && cfg_.slow_rank_us > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(cfg_.slow_rank_us));
       energy_->step(*comm_, temperature_, dt);
       time_ += dt;
       steps_++;
@@ -269,14 +278,24 @@ void Simulation::run(int steps) {
         !temperature_.empty())
       temperature_[0] = std::numeric_limits<double>::quiet_NaN();
 
+    // The analyzer exchange is collective, so the gate must evaluate
+    // identically on every rank (both flags are process-global).
+    obs::analysis::StepRecord arec;
+    const bool analyzed =
+        obs::analysis_enabled() && obs::telemetry_enabled();
+    if (analyzed) arec = obs::analysis::analyze_step(*comm_, steps_);
+
     if (obs::telemetry_enabled())
       emit_step_telemetry(
-          dt, obs::counter_value(comm_->rank(), vcycles_id) - vc0);
+          dt, obs::counter_value(comm_->rank(), vcycles_id) - vc0,
+          analyzed ? &arec : nullptr);
     if (cfg_.sentinels) check_sentinels();
   }
 }
 
-void Simulation::emit_step_telemetry(double dt, std::uint64_t step_vcycles) {
+void Simulation::emit_step_telemetry(
+    double dt, std::uint64_t step_vcycles,
+    const obs::analysis::StepRecord* analysis) {
   // Collective statistics first (every rank participates), then one rank
   // writes the record.
   const std::int64_t local_elements = forest_.tree().num_local();
@@ -335,6 +354,10 @@ void Simulation::emit_step_telemetry(double dt, std::uint64_t step_vcycles) {
       .field("t_min", phys.t_min)
       .field("t_max", phys.t_max)
       .field("t_mean", phys.t_mean);
+  if (analysis != nullptr)
+    rec.field_json("critical_path",
+                   obs::analysis::critical_path_json(*analysis))
+        .field_json("wait_states", obs::analysis::wait_states_json(*analysis));
   obs::telemetry_emit(rec);
 }
 

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "energy/energy.hpp"
+#include "obs/analysis.hpp"
 #include "rhea/indicator.hpp"
 #include "rhea/viscosity.hpp"
 #include "stokes/picard.hpp"
@@ -90,6 +91,12 @@ struct SimConfig {
   /// Test hook: poison temperature_[0] on rank 0 at this step number to
   /// exercise the sentinel / flight-recorder path (-1 = never).
   int nan_inject_step = -1;
+  /// Test hook: delay this rank by slow_rank_us microseconds inside every
+  /// energy step, right before its halo sends are posted (-1 = never).
+  /// The wait-state analyzer must then attribute the other ranks'
+  /// late-sender time to this rank (obs::analysis acceptance check).
+  int slow_rank = -1;
+  int slow_rank_us = 0;
 };
 
 /// Thrown (on every rank) when the NaN/Inf sentinels trip; the
@@ -137,7 +144,8 @@ class Simulation {
 
  private:
   void extract_and_rebuild(std::span<const double> element_temps);
-  void emit_step_telemetry(double dt, std::uint64_t step_vcycles);
+  void emit_step_telemetry(double dt, std::uint64_t step_vcycles,
+                           const obs::analysis::StepRecord* analysis);
   void check_sentinels();
 
   par::Comm* comm_;
