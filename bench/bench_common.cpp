@@ -85,6 +85,12 @@ void Reporter::snapshot_obs(const std::string& label) {
   s.analysis = alps::obs::analysis::summarize(alps::obs::analysis::step_records());
   alps::obs::analysis::reset_records();
   s.hw = alps::obs::aggregate_hw();
+  s.mem_enabled = alps::obs::mem_enabled();
+  if (s.mem_enabled) {
+    s.mem_scopes = alps::obs::aggregate_mem();
+    s.rss = alps::obs::sample_rss();
+    s.rss_peak = alps::obs::rss_peak();
+  }
   snaps_.push_back(std::move(s));
 }
 
@@ -130,6 +136,26 @@ void Reporter::save(const std::string& path) {
             .obj_close();
       }
       j_.arr_close();
+    }
+    if (s.mem_enabled) {
+      std::uint64_t accounted = 0;
+      for (const auto& [name, bytes] : s.mem_scopes) accounted += bytes;
+      j_.obj_open("memory").field("accounted_bytes", accounted);
+      j_.obj_open("scopes");
+      for (const auto& [name, bytes] : s.mem_scopes)
+        j_.field(name.c_str(), bytes);
+      j_.obj_close();
+      j_.obj_open("rss").field("available", s.rss.available);
+      if (s.rss.available)
+        j_.field("rss_bytes", s.rss.rss_bytes)
+            .field("hwm_bytes", s.rss.hwm_bytes);
+      j_.obj_close();
+      if (s.rss_peak.bytes > 0) {
+        j_.field("rss_peak_bytes", s.rss_peak.bytes);
+        j_.field("rss_peak_phase",
+                 std::string(s.rss_peak.phase ? s.rss_peak.phase : ""));
+      }
+      j_.obj_close();
     }
     j_.obj_close();
   }

@@ -16,6 +16,7 @@
 #include "mesh/mesh.hpp"
 #include "obs/analysis.hpp"
 #include "obs/hwcounters.hpp"
+#include "obs/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/runtime.hpp"
 
@@ -142,6 +143,12 @@ class Reporter {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     alps::obs::analysis::RunSummary analysis;
     std::vector<std::pair<std::string, alps::obs::HwCounts>> hw;
+    // Memory accounting of the run (obs/mem.hpp): per-scope bytes summed
+    // over ranks, plus the process RSS sample and cadence-sampled peak.
+    bool mem_enabled = false;
+    std::vector<std::pair<std::string, std::uint64_t>> mem_scopes;
+    alps::obs::RssSample rss;
+    alps::obs::RssPeak rss_peak;
   };
   JsonWriter j_;
   std::vector<Snapshot> snaps_;

@@ -27,6 +27,11 @@
 //   slow_rank (-1)          test hook: artificially delay this rank every
 //   slow_rank_us (0)        step by slow_rank_us microseconds, so the
 //                           wait-state analyzer must blame it (late sender)
+//   mem_drift_window (8)    sliding window (steps) of the memory-drift fit
+//   mem_drift_warn_bytes_per_step (1048576)   warn threshold
+//   mem_drift_panic_bytes_per_step (0)        flight-recorder threshold
+//   mem_drift_inject_rank (-1)  test hook: synthetic linear leak on this
+//   mem_drift_inject_bytes (0)  rank, growing by this many bytes per step
 //
 // Observability: ALPS_TELEMETRY=1 streams one JSONL record per time step
 // to ALPS_TELEMETRY_OUT (default alps_telemetry.jsonl). If the sentinels
@@ -172,6 +177,14 @@ int main(int argc, char** argv) {
     sim_cfg.nan_inject_step = cfg.integer("nan_inject_step", -1);
     sim_cfg.slow_rank = cfg.integer("slow_rank", -1);
     sim_cfg.slow_rank_us = cfg.integer("slow_rank_us", 0);
+    sim_cfg.mem_drift_window = cfg.integer("mem_drift_window", 8);
+    sim_cfg.mem_drift_warn_bytes_per_step =
+        cfg.num("mem_drift_warn_bytes_per_step", 1 << 20);
+    sim_cfg.mem_drift_panic_bytes_per_step =
+        cfg.num("mem_drift_panic_bytes_per_step", 0.0);
+    sim_cfg.mem_drift_inject_rank = cfg.integer("mem_drift_inject_rank", -1);
+    sim_cfg.mem_drift_inject_bytes = static_cast<std::int64_t>(
+        cfg.num("mem_drift_inject_bytes", 0));
     const double sigma_y = cfg.num("sigma_y", 1.0);
     if (sigma_y > 0) {
       rhea::YieldingLawOptions yopt;

@@ -17,6 +17,14 @@ by more than the noise floor; the reduced-synchronization Krylov loops
 must issue at most --max-sync reductions per iteration and the fused
 multi-value reductions must not change iteration counts by more than
 --max-iter-delta versus one-reduction-per-dot.
+
+bench_memory (cases[].bytes_per_dof): accounted memory per dof must not
+grow with refinement level — the paper's memory-per-core-bounded claim.
+Fails when the highest level's bytes/dof exceeds --max-mem-ratio times
+the lowest level's, for the total and for every subsystem that carries
+at least --min-mem-share of the highest level's footprint (fixed-size
+overheads like the obs ring buffers legitimately shrink per dof, and
+surface terms like mesh.halo shrink too; only growth is a leak).
 """
 
 import argparse
@@ -88,6 +96,61 @@ def check_apply(data, args) -> int:
     return 0 if ok else 1
 
 
+def check_memory(data, args) -> int:
+    cases = [c for c in data.get("cases", [])
+             if "bytes_per_dof" in c and "level" in c]
+    if len(cases) < 2:
+        print(f"check_bench: need at least two levels, got {len(cases)}")
+        return 1
+    cases.sort(key=lambda c: c["level"])
+    ok = True
+    for c in cases:
+        if c.get("n_dof", 0) <= 0 or c.get("accounted_bytes", 0) <= 0:
+            print(f"check_bench: FAIL level {c['level']}: empty accounting "
+                  f"(n_dof={c.get('n_dof')}, "
+                  f"accounted_bytes={c.get('accounted_bytes')})")
+            ok = False
+        print(f"  level {c['level']}: {c['bytes_per_dof']:.1f} bytes/dof "
+              f"(n_dof={c.get('n_dof', '?')}, "
+              f"accounted={c.get('accounted_bytes', 0)}, "
+              f"imbalance={c.get('imbalance', 0):.3f})")
+
+    lo, hi = cases[0], cases[-1]
+    if lo["bytes_per_dof"] <= 0:
+        print("check_bench: lowest-level bytes_per_dof is not positive")
+        return 1
+    ratio = hi["bytes_per_dof"] / lo["bytes_per_dof"]
+    verdict = "PASS" if ratio <= args.max_mem_ratio else "FAIL"
+    print(f"check_bench: level {hi['level']} vs level {lo['level']} total "
+          f"bytes/dof ratio = {ratio:.2f} "
+          f"(max allowed {args.max_mem_ratio:.2f}): {verdict}")
+    ok = ok and ratio <= args.max_mem_ratio
+
+    def sub_bpd(case):
+        return {s["name"]: s.get("bytes_per_dof", 0.0)
+                for s in case.get("subsystems", [])}
+
+    hi_total = sum(s.get("bytes", 0) for s in hi.get("subsystems", []))
+    lo_sub, hi_sub = sub_bpd(lo), sub_bpd(hi)
+    for s in hi.get("subsystems", []):
+        name = s["name"]
+        share = s.get("bytes", 0) / hi_total if hi_total > 0 else 0.0
+        if share < args.min_mem_share:
+            continue  # too small to gate; noise and fixed overheads
+        if name not in lo_sub or lo_sub[name] <= 0:
+            print(f"  subsystem {name}: new at level {hi['level']} "
+                  f"({share:.0%} share) — no baseline, skipped")
+            continue
+        r = hi_sub[name] / lo_sub[name]
+        line_ok = r <= args.max_mem_ratio
+        print(f"  subsystem {name}: {lo_sub[name]:.1f} -> "
+              f"{hi_sub[name]:.1f} bytes/dof, ratio {r:.2f} "
+              f"({share:.0%} of footprint): "
+              f"{'PASS' if line_ok else 'FAIL'}")
+        ok = ok and line_ok
+    return 0 if ok else 1
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("bench_json", nargs="?", default="BENCH_amg_setup.json",
@@ -105,6 +168,11 @@ def main() -> int:
     ap.add_argument("--max-iter-delta", type=int, default=2,
                     help="apply: max fused-vs-reference iteration count "
                     "difference")
+    ap.add_argument("--max-mem-ratio", type=float, default=1.5,
+                    help="memory: highest-vs-lowest level bytes/dof bound")
+    ap.add_argument("--min-mem-share", type=float, default=0.05,
+                    help="memory: minimum share of the highest level's "
+                    "footprint for a subsystem to be gated")
     args = ap.parse_args()
 
     try:
@@ -119,6 +187,8 @@ def main() -> int:
         return check_apply(data, args)
     if any("setup_ns_per_nnz" in c for c in cases):
         return check_amg_setup(data, args)
+    if any("bytes_per_dof" in c for c in cases):
+        return check_memory(data, args)
     print(f"check_bench: unrecognized schema in {args.bench_json}")
     return 1
 

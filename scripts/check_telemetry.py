@@ -8,12 +8,18 @@ JSONL mode (default):
     nusselt, v_rms, t_min, t_max, t_mean),
   * "step" is strictly increasing, "time" non-decreasing, "dt" > 0,
   * "per_level" is a list of non-negative ints summing to "elements",
+  * optional "memory" blocks obey the accounting invariants: imbalance
+    >= 1, min <= mean <= max <= hwm, the accounted and RSS high-water
+    marks never decrease across records, accounted total <= global RSS
+    (per-rank accounting can never exceed what the OS charges the
+    process times ranks), and an {"available": false} RSS object carries
+    no numeric fields (no fabricated zeros),
   * optional: --min-records N requires at least N records.
 
 Bundle mode (--dump-dir DIR): the flight-recorder layout written by
 obs::panic_dump is present and parses — reason.txt (non-empty),
-trace.json / counters.json / phases.json / residuals.json (valid JSON),
-telemetry_tail.jsonl (every line a JSON object).
+trace.json / counters.json / phases.json / residuals.json / memory.json
+(valid JSON), telemetry_tail.jsonl (every line a JSON object).
 
 Usage:
   check_telemetry.py rhea_telemetry.jsonl --min-records 4
@@ -37,6 +43,76 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def _num(obj, key, where):
+    v = obj.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        fail(f"{where}: \"{key}\" is not numeric: {v!r}")
+    if not math.isfinite(v):
+        fail(f"{where}: \"{key}\" is not finite: {v!r}")
+    return v
+
+
+def check_memory_block(mem, where, hwm_state) -> None:
+    """Validate one record's "memory" block against the accounting
+    invariants; hwm_state carries the previous record's high-water marks
+    (they must never decrease across a run)."""
+    if not isinstance(mem, dict):
+        fail(f"{where}: \"memory\" is not an object")
+    if not isinstance(mem.get("available"), bool):
+        fail(f"{where}: memory.available is not a bool")
+    if not mem["available"]:
+        return
+    acc = mem.get("accounted")
+    if not isinstance(acc, dict):
+        fail(f"{where}: memory.accounted missing or not an object")
+    amin = _num(acc, "min_bytes", where)
+    amed = _num(acc, "median_bytes", where)
+    amax = _num(acc, "max_bytes", where)
+    amean = _num(acc, "mean_bytes", where)
+    ahwm = _num(acc, "hwm_bytes", where)
+    aimb = _num(acc, "imbalance", where)
+    if not (0 <= amin <= amed <= amax):
+        fail(f"{where}: accounted min/median/max out of order "
+             f"({amin}/{amed}/{amax})")
+    if not (amin <= amean <= amax):
+        fail(f"{where}: accounted mean {amean} outside [{amin}, {amax}]")
+    if ahwm < amax:
+        fail(f"{where}: accounted hwm {ahwm} below current max {amax}")
+    if aimb < 1:
+        fail(f"{where}: accounted imbalance {aimb} < 1")
+    if ahwm < hwm_state.get("acc", 0):
+        fail(f"{where}: accounted hwm {ahwm} decreased "
+             f"(previous {hwm_state['acc']})")
+    hwm_state["acc"] = ahwm
+
+    rss = mem.get("rss")
+    if not isinstance(rss, dict):
+        fail(f"{where}: memory.rss missing or not an object")
+    if not isinstance(rss.get("available"), bool):
+        fail(f"{where}: memory.rss.available is not a bool")
+    if not rss["available"]:
+        if len(rss) != 1:
+            fail(f"{where}: rss has available:false mixed with other "
+                 f"fields: {sorted(rss)}")
+        return
+    rmin = _num(rss, "min_bytes", where)
+    rmax = _num(rss, "max_bytes", where)
+    rhwm = _num(rss, "hwm_bytes", where)
+    rimb = _num(rss, "imbalance", where)
+    if not (0 < rmin <= rmax <= rhwm):
+        fail(f"{where}: rss min/max/hwm out of order "
+             f"({rmin}/{rmax}/{rhwm})")
+    if rimb < 1:
+        fail(f"{where}: rss imbalance {rimb} < 1")
+    if rhwm < hwm_state.get("rss", 0):
+        fail(f"{where}: rss hwm {rhwm} decreased "
+             f"(previous {hwm_state['rss']})")
+    hwm_state["rss"] = rhwm
+    total = acc.get("total_bytes")
+    if isinstance(total, (int, float)) and total > rmax:
+        fail(f"{where}: accounted total {total} exceeds RSS {rmax}")
+
+
 def check_jsonl(path: str, min_records: int) -> None:
     try:
         with open(path, encoding="utf-8") as f:
@@ -48,6 +124,8 @@ def check_jsonl(path: str, min_records: int) -> None:
         fail(f"{path}: expected >= {min_records} records, found {len(lines)}")
 
     prev_step, prev_time = None, None
+    hwm_state = {}
+    mem_records = 0
     for i, line in enumerate(lines, start=1):
         try:
             rec = json.loads(line)
@@ -81,10 +159,14 @@ def check_jsonl(path: str, min_records: int) -> None:
             if sum(per_level) != rec["elements"]:
                 fail(f"{path}:{i}: per_level sums to {sum(per_level)}, "
                      f"elements says {rec['elements']}")
+        if "memory" in rec:
+            check_memory_block(rec["memory"], f"{path}:{i}", hwm_state)
+            mem_records += 1
         prev_step, prev_time = rec["step"], rec["time"]
 
     print(f"check_telemetry: OK: {len(lines)} records in {path}, "
-          f"steps {lines and json.loads(lines[0])['step']}..{prev_step}")
+          f"steps {lines and json.loads(lines[0])['step']}..{prev_step}, "
+          f"{mem_records} with memory blocks")
 
 
 def check_bundle(dump_dir: str) -> None:
@@ -101,7 +183,7 @@ def check_bundle(dump_dir: str) -> None:
         fail(f"{reason} is empty")
 
     for name in ("trace.json", "counters.json", "phases.json",
-                 "residuals.json"):
+                 "residuals.json", "memory.json"):
         path = os.path.join(dump_dir, name)
         try:
             with open(path, encoding="utf-8") as f:

@@ -18,6 +18,10 @@ embed "critical_path" and "wait_states" blocks when ALPS_ANALYSIS is on,
 the default) and renders one PNG per input file: per-phase critical-path
 imbalance over steps on top, stacked wait-state buckets (late-sender /
 transfer / collective) per phase over steps below.
+
+Records with a "memory" block (ALPS_MEM on, the default) additionally get
+a <base>_memory.png: per-subsystem accounted bytes stacked over steps on
+top, accounted total / HWM and RSS / RSS-HWM time-series below.
 """
 
 import csv
@@ -121,6 +125,86 @@ def plot_telemetry(path):
     return out
 
 
+def load_memory(path):
+    """Per-step memory series: (steps, {subsystem: [bytes]}, series dict
+    with accounted/hwm/rss/rss_hwm lists; None entries where absent)."""
+    steps = []
+    subs = {}
+    series = {"accounted": [], "acc_hwm": [], "rss": [], "rss_hwm": []}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            mem = rec.get("memory")
+            if "step" not in rec or not isinstance(mem, dict) \
+                    or not mem.get("available"):
+                continue
+            steps.append(rec["step"])
+            n = len(steps)
+            for s in mem.get("subsystems", []):
+                col = subs.setdefault(s["name"], [])
+                col.extend([0] * (n - 1 - len(col)))
+                col.append(s.get("bytes", 0))
+            acc = mem.get("accounted", {})
+            series["accounted"].append(acc.get("total_bytes"))
+            series["acc_hwm"].append(acc.get("hwm_bytes"))
+            rss = mem.get("rss", {})
+            ok = rss.get("available")
+            series["rss"].append(rss.get("max_bytes") if ok else None)
+            series["rss_hwm"].append(rss.get("hwm_bytes") if ok else None)
+    for col in subs.values():
+        col.extend([0] * (len(steps) - len(col)))
+    return steps, subs, series
+
+
+def plot_memory(path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    steps, subs, series = load_memory(path)
+    if not steps:
+        print(f"skip {path}: no memory records")
+        return None
+
+    mib = 1.0 / (1 << 20)
+    fig, (ax1, ax2) = plt.subplots(2, 1, figsize=(10, 8), sharex=True)
+    bottom = [0.0] * len(steps)
+    for name, col in sorted(subs.items(),
+                            key=lambda kv: -max(kv[1], default=0)):
+        top = [bottom[i] + col[i] * mib for i in range(len(steps))]
+        ax1.fill_between(steps, bottom, top, alpha=0.6, label=name)
+        bottom = top
+    ax1.set_ylabel("accounted bytes per subsystem [MiB]")
+    ax1.set_title(os.path.basename(path))
+    if subs:
+        ax1.legend(fontsize=7, ncol=2)
+
+    styles = {"accounted": ("accounted total", "-"),
+              "acc_hwm": ("accounted HWM", "--"),
+              "rss": ("RSS (max rank)", "-"),
+              "rss_hwm": ("RSS HWM", "--")}
+    for key, (label, ls) in styles.items():
+        pts = [(s, v * mib) for s, v in zip(steps, series[key])
+               if isinstance(v, (int, float))]
+        if pts:
+            ax2.plot([p[0] for p in pts], [p[1] for p in pts],
+                     ls, marker=".", label=label)
+    ax2.set_xlabel("step")
+    ax2.set_ylabel("bytes [MiB]")
+    ax2.legend(fontsize=8)
+
+    out = path.rsplit(".", 1)[0] + "_memory.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    plt.close(fig)
+    print(f"wrote {out}")
+    return out
+
+
 def plot_csv(path, cols):
     import matplotlib
 
@@ -163,14 +247,19 @@ def main():
         made = 0
         for name in sorted(os.listdir(path)):
             if name.endswith(".jsonl"):
-                if plot_telemetry(os.path.join(path, name)):
+                full = os.path.join(path, name)
+                if plot_telemetry(full):
+                    made += 1
+                if plot_memory(full):
                     made += 1
         if made == 0:
             print(f"no telemetry JSONL with analyzed steps under {path}")
             return 1
         return 0
     if path.endswith(".jsonl"):
-        return 0 if plot_telemetry(path) else 1
+        made = 1 if plot_telemetry(path) else 0
+        made += 1 if plot_memory(path) else 0
+        return 0 if made else 1
     plot_csv(path, load(path))
     return 0
 

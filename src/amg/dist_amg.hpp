@@ -75,6 +75,20 @@ class DistAmg {
   double grid_complexity() const;
   const la::DistCsr& finest() const { return levels_.empty() ? coarse_dist_ : levels_.front().a; }
 
+  /// This rank's heap bytes split by what the hierarchy stores them for
+  /// (reported into the "amg.*" memory scopes; see obs/mem.hpp).
+  struct MemoryBytes {
+    std::uint64_t operators = 0;      // per-level A (diag+offd+plans)
+    std::uint64_t interpolation = 0;  // per-level P
+    std::uint64_t rap = 0;            // cached RAP scatter tables
+    std::uint64_t coarse = 0;         // replicated coarsest + LU factors
+    std::uint64_t scratch = 0;        // cycle workspaces, smoother data
+    std::uint64_t total() const {
+      return operators + interpolation + rap + coarse + scratch;
+    }
+  };
+  MemoryBytes memory_bytes() const;
+
  private:
   /// Cached structure of one level's Galerkin product A_c = P^T A P. The
   /// symbolic pass fills it once; the numeric pass replays it whenever
@@ -157,5 +171,37 @@ class DistAmg {
   mutable std::vector<double> coarse_b_, coarse_x_;  // replicated scratch
   mutable std::vector<double> factors_;              // last tracked solve()
 };
+
+inline DistAmg::MemoryBytes DistAmg::memory_bytes() const {
+  MemoryBytes m;
+  using obs::vec_bytes;
+  for (const Level& L : levels_) {
+    m.operators += L.a.memory_bytes();
+    m.interpolation += L.p.memory_bytes();
+    const RapPlan& r = L.rap;
+    m.rap += vec_bytes(r.ccol_gids) + vec_bytes(r.prow_ptr) +
+             vec_bytes(r.gprow_ptr) + vec_bytes(r.prow_col) +
+             vec_bytes(r.gprow_col) + vec_bytes(r.prow_val) +
+             vec_bytes(r.gprow_val) + vec_bytes(r.ap_ptr) +
+             vec_bytes(r.ap_col) + vec_bytes(r.pt_ptr) +
+             vec_bytes(r.gpt_ptr) + vec_bytes(r.pt_row) +
+             vec_bytes(r.gpt_row) + vec_bytes(r.pt_w) + vec_bytes(r.gpt_w) +
+             vec_bytes(r.lr_ptr) + vec_bytes(r.lr_ccol) +
+             vec_bytes(r.lr_pos) + vec_bytes(r.rc_ptr) +
+             vec_bytes(r.rc_ccol) + vec_bytes(r.rc_dest) +
+             vec_bytes(r.recv_pos);
+    for (const auto& v : r.recv_pos) m.rap += vec_bytes(v);
+    m.scratch += vec_bytes(r.ap_val) + vec_bytes(r.acc) + vec_bytes(L.diag) +
+                 vec_bytes(L.res) + vec_bytes(L.bc) + vec_bytes(L.xc) +
+                 vec_bytes(L.ghost) + vec_bytes(L.ch_r) + vec_bytes(L.ch_d) +
+                 vec_bytes(L.ch_t);
+  }
+  m.operators += coarse_dist_.memory_bytes();
+  m.coarse += coarse_a_.memory_bytes();
+  if (coarse_) m.coarse += coarse_->memory_bytes();
+  m.scratch += vec_bytes(coarse_b_) + vec_bytes(coarse_x_) +
+               vec_bytes(factors_);
+  return m;
+}
 
 }  // namespace alps::amg

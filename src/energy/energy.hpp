@@ -38,6 +38,13 @@ class EnergySolver {
 
   const fem::ElementOperator& op() const { return *op_; }
 
+  /// This rank's heap bytes for the lumped-mass and source vectors (the
+  /// "energy.fields" memory scope). The SUPG element operator is reported
+  /// separately through op().memory_bytes() (the "fem.plan" scope).
+  std::uint64_t memory_bytes() const {
+    return obs::vec_bytes(lumped_) + obs::vec_bytes(source_);
+  }
+
  private:
   void rate(par::Comm& comm, std::span<const double> t,
             std::span<double> dtdt) const;

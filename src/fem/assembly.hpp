@@ -154,6 +154,19 @@ class ElementOperator {
     return plan_.mats.size();
   }
 
+  /// This rank's heap bytes: element matrices, Dirichlet masks, the
+  /// batched apply-plan index/weight tables, and the hot-path workspaces
+  /// (the "fem.plan" memory scope). Does not force a plan build — an
+  /// unbuilt plan reports its current (empty) footprint.
+  std::uint64_t memory_bytes() const {
+    using obs::vec_bytes;
+    return vec_bytes(mats_) + vec_bytes(dirichlet_) + vec_bytes(plan_.mats) +
+           vec_bytes(plan_.gbase) + vec_bytes(plan_.w_raw) +
+           vec_bytes(plan_.w_bc) + vec_bytes(plan_.slots) +
+           vec_bytes(plan_.owned_dirichlet) + vec_bytes(work_x_) +
+           vec_bytes(work_ax_) + vec_bytes(work_xe_) + vec_bytes(work_ye_);
+  }
+
  private:
   void gather_element(std::size_t e, std::span<const double> x,
                       std::span<double> xe) const;

@@ -49,6 +49,10 @@ class Forest {
     octree::partition(comm, tree_, payloads, weights);
   }
 
+  /// This rank's heap bytes (leaf slice + ownership ranges; the
+  /// "forest.octants" memory scope).
+  std::uint64_t memory_bytes() const { return tree_.memory_bytes(); }
+
  private:
   Connectivity conn_;
   octree::LinearOctree tree_;

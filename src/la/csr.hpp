@@ -6,6 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/mem.hpp"
+
 namespace alps::la {
 
 struct Triplet {
@@ -47,6 +49,12 @@ class Csr {
   /// C = A * B (sparse-sparse product).
   static Csr multiply(const Csr& a, const Csr& b);
 
+  /// Heap bytes held (capacity-based; see obs::vec_bytes).
+  std::uint64_t memory_bytes() const {
+    return obs::vec_bytes(rowptr_) + obs::vec_bytes(colidx_) +
+           obs::vec_bytes(val_);
+  }
+
  private:
   std::int64_t nrows_ = 0, ncols_ = 0;
   std::vector<std::int64_t> rowptr_;
@@ -73,6 +81,9 @@ class DenseLu {
   explicit DenseLu(const Csr& a);
   void solve(std::span<const double> b, std::span<double> x) const;
   std::int64_t n() const { return n_; }
+  std::uint64_t memory_bytes() const {
+    return obs::vec_bytes(lu_) + obs::vec_bytes(piv_);
+  }
 
  private:
   std::int64_t n_ = 0;

@@ -125,6 +125,14 @@ class GhostExchange {
     return recv_idx_;
   }
 
+  /// Heap bytes of the plan's index tables (capacity-based).
+  std::uint64_t memory_bytes() const {
+    std::uint64_t b = obs::vec_bytes(send_idx_) + obs::vec_bytes(recv_idx_);
+    for (const auto& v : send_idx_) b += obs::vec_bytes(v);
+    for (const auto& v : recv_idx_) b += obs::vec_bytes(v);
+    return b;
+  }
+
  private:
   static constexpr int kForwardTag = 0x6700;
   static constexpr int kReverseTag = 0x6701;
@@ -205,6 +213,15 @@ class DistCsr {
   /// coarsest AMG level and test/bench reference paths — never on the
   /// per-iteration solve path. Collective.
   Csr replicate(par::Comm& comm) const;
+
+  /// This rank's heap bytes: partition tables, diag/offd blocks, ghost
+  /// gid list, exchange plan, and the persistent matvec ghost buffers.
+  std::uint64_t memory_bytes() const {
+    return obs::vec_bytes(row_offsets_) + obs::vec_bytes(col_offsets_) +
+           diag_.memory_bytes() + offd_.memory_bytes() +
+           obs::vec_bytes(ghost_gids_) + plan_.memory_bytes() +
+           obs::vec_bytes(ghost_vals_) + obs::vec_bytes(ghost_acc_);
+  }
 
  private:
   std::vector<std::int64_t> row_offsets_, col_offsets_;

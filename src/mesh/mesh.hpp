@@ -18,6 +18,7 @@
 
 #include "forest/forest.hpp"
 #include "mesh/ghost.hpp"
+#include "obs/mem.hpp"
 
 namespace alps::mesh {
 
@@ -109,6 +110,28 @@ class Mesh {
   /// Physical corner positions of element e (z-order), via the geometry.
   std::array<std::array<double, 3>, 8> element_corners_xyz(
       const forest::Connectivity& conn, std::int64_t e) const;
+
+  /// This rank's heap bytes split by what they store (reported into the
+  /// "mesh.*" memory scopes; see obs/mem.hpp).
+  struct MemoryBytes {
+    std::uint64_t topology = 0;  // octants + hanging-node corner tables
+    std::uint64_t dofs = 0;      // numbering, coords, boundary masks
+    std::uint64_t halo = 0;      // ghost index lists + packing buffers
+    std::uint64_t total() const { return topology + dofs + halo; }
+  };
+  MemoryBytes memory_bytes() const {
+    MemoryBytes m;
+    m.topology = obs::vec_bytes(elements) + obs::vec_bytes(corners);
+    m.dofs = obs::vec_bytes(dof_keys) + obs::vec_bytes(dof_gids) +
+             obs::vec_bytes(dof_coords) + obs::vec_bytes(dof_boundary);
+    m.halo = obs::vec_bytes(send_idx) + obs::vec_bytes(recv_idx) +
+             obs::vec_bytes(halo_owner_ranks_) +
+             obs::vec_bytes(halo_user_ranks_) + obs::vec_bytes(halo_out_);
+    for (const auto& v : send_idx) m.halo += obs::vec_bytes(v);
+    for (const auto& v : recv_idx) m.halo += obs::vec_bytes(v);
+    for (const auto& v : halo_out_) m.halo += obs::vec_bytes(v);
+    return m;
+  }
 
  private:
   enum class HaloOp : std::uint8_t { kNone, kAccumulate, kExchange };

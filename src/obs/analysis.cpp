@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/mem.hpp"
 #include "par/comm.hpp"
 
 namespace alps::obs::analysis {
@@ -487,6 +488,256 @@ std::string critical_path_json(const RunSummary& sum) {
 std::string wait_states_json(const RunSummary& sum) {
   std::ostringstream os;
   append_waits(os, sum.waits);
+  return os.str();
+}
+
+// ---- memory aggregation ------------------------------------------------
+
+namespace {
+
+// One rank's contribution to the memory exchange:
+//   u64 accounted, u64 acc_hwm, str acc_hwm_phase,
+//   u32 rss_available, u64 rss, u64 rss_hwm, str rss_peak_phase,
+//   u32 n_scopes { str name, u64 bytes } ...
+struct MemDelta {
+  std::uint64_t accounted = 0;
+  std::uint64_t acc_hwm = 0;
+  std::string acc_hwm_phase;
+  bool rss_available = false;
+  std::uint64_t rss = 0;
+  std::uint64_t rss_hwm = 0;
+  std::string rss_peak_phase;
+  std::vector<std::pair<std::string, std::uint64_t>> scopes;
+};
+
+std::vector<std::byte> encode_mem(const MemDelta& d) {
+  std::vector<std::byte> b;
+  put_u64(b, d.accounted);
+  put_u64(b, d.acc_hwm);
+  put_str(b, d.acc_hwm_phase);
+  put_u32(b, d.rss_available ? 1 : 0);
+  put_u64(b, d.rss);
+  put_u64(b, d.rss_hwm);
+  put_str(b, d.rss_peak_phase);
+  put_u32(b, static_cast<std::uint32_t>(d.scopes.size()));
+  for (const auto& [name, bytes] : d.scopes) {
+    put_str(b, name);
+    put_u64(b, bytes);
+  }
+  return b;
+}
+
+MemDelta decode_mem(const std::byte* p, std::size_t n) {
+  MemDelta d;
+  Reader r{p, p + n};
+  d.accounted = r.get<std::uint64_t>();
+  d.acc_hwm = r.get<std::uint64_t>();
+  d.acc_hwm_phase = r.str();
+  d.rss_available = r.get<std::uint32_t>() != 0;
+  d.rss = r.get<std::uint64_t>();
+  d.rss_hwm = r.get<std::uint64_t>();
+  d.rss_peak_phase = r.str();
+  const std::uint32_t ns = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < ns && r.p < r.end; ++i) {
+    std::string name = r.str();
+    d.scopes.emplace_back(std::move(name), r.get<std::uint64_t>());
+  }
+  return d;
+}
+
+/// The scope-name prefix before the first '.' — the subsystem key.
+std::string subsystem_of(const std::string& scope) {
+  const std::size_t dot = scope.find('.');
+  return dot == std::string::npos ? scope : scope.substr(0, dot);
+}
+
+std::string mem_uint(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+MemRecord analyze_memory(par::Comm& comm, int step) {
+  MemRecord rec;
+  rec.step = step;
+  rec.ranks = comm.size();
+  if (!mem_enabled()) return rec;  // process-global: symmetric on all ranks
+  rec.enabled = true;
+
+  MemDelta mine;
+  mine.accounted = mem_accounted();
+  const MemHwm hwm = mem_hwm(comm.rank());
+  mine.acc_hwm = hwm.bytes;
+  if (hwm.phase != nullptr) mine.acc_hwm_phase = hwm.phase;
+  const RssSample rss = sample_rss();
+  const RssPeak peak = rss_peak();
+  mine.rss_available = rss.available;
+  mine.rss = rss.rss_bytes;
+  // Report the larger of the kernel lifetime peak (VmHWM, monotone) and
+  // the cadence sampler's observed peak; the phase comes from the latter.
+  mine.rss_hwm = std::max(rss.hwm_bytes, peak.bytes);
+  if (peak.phase != nullptr) mine.rss_peak_phase = peak.phase;
+  mine.scopes = mem_snapshot();
+
+  // The analyzer's own collectives stay out of the wait buckets.
+  wait_suppress(true);
+  const std::vector<std::byte> blob = encode_mem(mine);
+  const std::uint64_t my_size = blob.size();
+  const std::vector<std::uint64_t> sizes = comm.allgather(my_size);
+  const std::vector<std::byte> all = comm.allgatherv(blob);
+  wait_suppress(false);
+
+  std::vector<MemDelta> deltas;
+  deltas.reserve(static_cast<std::size_t>(comm.size()));
+  std::size_t off = 0;
+  for (int r = 0; r < comm.size(); ++r) {
+    const std::size_t n =
+        static_cast<std::size_t>(sizes[static_cast<std::size_t>(r)]);
+    deltas.push_back(decode_mem(all.data() + off, n));
+    off += n;
+  }
+
+  // Accounted stats.
+  std::vector<std::uint64_t> acc;
+  for (const MemDelta& d : deltas) acc.push_back(d.accounted);
+  rec.acc_by_rank = acc;
+  std::vector<std::uint64_t> sorted = acc;
+  std::sort(sorted.begin(), sorted.end());
+  rec.acc_min = sorted.front();
+  rec.acc_max = sorted.back();
+  const std::size_t n = sorted.size();
+  rec.acc_median =
+      (n % 2 == 1) ? static_cast<double>(sorted[n / 2])
+                   : 0.5 * (static_cast<double>(sorted[n / 2 - 1]) +
+                            static_cast<double>(sorted[n / 2]));
+  for (std::uint64_t v : acc) rec.acc_total += v;
+  rec.acc_mean = static_cast<double>(rec.acc_total) / static_cast<double>(n);
+  rec.acc_imbalance =
+      rec.acc_mean > 0 ? static_cast<double>(rec.acc_max) / rec.acc_mean : 1.0;
+  for (int r = 0; r < rec.ranks; ++r)
+    if (acc[static_cast<std::size_t>(r)] == rec.acc_max) {
+      rec.acc_argmax = r;
+      break;
+    }
+  for (int r = 0; r < rec.ranks; ++r) {
+    const MemDelta& d = deltas[static_cast<std::size_t>(r)];
+    if (d.acc_hwm >= rec.acc_hwm_max) {
+      rec.acc_hwm_max = d.acc_hwm;
+      rec.acc_hwm_phase = d.acc_hwm_phase;
+    }
+  }
+
+  // RSS stats — only when every rank had a live sample (a mixed world
+  // would make the min/mean meaningless).
+  rec.rss_available = true;
+  for (const MemDelta& d : deltas) rec.rss_available &= d.rss_available;
+  if (rec.rss_available) {
+    std::uint64_t total = 0;
+    rec.rss_min = deltas.front().rss;
+    for (int r = 0; r < rec.ranks; ++r) {
+      const MemDelta& d = deltas[static_cast<std::size_t>(r)];
+      total += d.rss;
+      rec.rss_min = std::min(rec.rss_min, d.rss);
+      if (d.rss > rec.rss_max) {
+        rec.rss_max = d.rss;
+        rec.rss_argmax = r;
+      }
+      if (d.rss_hwm >= rec.rss_hwm_max) {
+        rec.rss_hwm_max = d.rss_hwm;
+        rec.rss_hwm_phase = d.rss_peak_phase;
+      }
+    }
+    rec.rss_mean = static_cast<double>(total) / static_cast<double>(rec.ranks);
+    rec.rss_imbalance =
+        rec.rss_mean > 0 ? static_cast<double>(rec.rss_max) / rec.rss_mean
+                         : 1.0;
+  }
+
+  // Scope and subsystem reductions.
+  std::map<std::string, MemScopeStat> scopes, subs;
+  std::map<std::string, std::map<int, std::uint64_t>> sub_by_rank;
+  for (int r = 0; r < rec.ranks; ++r) {
+    const MemDelta& d = deltas[static_cast<std::size_t>(r)];
+    for (const auto& [name, bytes] : d.scopes) {
+      MemScopeStat& s = scopes[name];
+      s.scope = name;
+      s.total += bytes;
+      if (bytes > s.max) {
+        s.max = bytes;
+        s.argmax = r;
+      }
+      sub_by_rank[subsystem_of(name)][r] += bytes;
+    }
+  }
+  for (const auto& [name, by_rank] : sub_by_rank) {
+    MemScopeStat& s = subs[name];
+    s.scope = name;
+    for (const auto& [r, bytes] : by_rank) {
+      s.total += bytes;
+      if (bytes > s.max) {
+        s.max = bytes;
+        s.argmax = r;
+      }
+    }
+  }
+  for (auto& [name, s] : scopes) rec.scopes.push_back(std::move(s));
+  for (auto& [name, s] : subs) rec.subsystems.push_back(std::move(s));
+  return rec;
+}
+
+std::string memory_json(const MemRecord& rec, std::int64_t dofs,
+                        const std::string& drift_json) {
+  std::ostringstream os;
+  if (!rec.enabled) {
+    os << "{\"available\":false}";
+    return os.str();
+  }
+  os << "{\"available\":true,\"ranks\":" << rec.ranks;
+  os << ",\"accounted\":{\"min_bytes\":" << mem_uint(rec.acc_min)
+     << ",\"median_bytes\":" << fmt(rec.acc_median)
+     << ",\"max_bytes\":" << mem_uint(rec.acc_max)
+     << ",\"mean_bytes\":" << fmt(rec.acc_mean)
+     << ",\"total_bytes\":" << mem_uint(rec.acc_total)
+     << ",\"imbalance\":" << fmt(rec.acc_imbalance)
+     << ",\"argmax_rank\":" << rec.acc_argmax
+     << ",\"hwm_bytes\":" << mem_uint(rec.acc_hwm_max) << ",\"hwm_phase\":\""
+     << rec.acc_hwm_phase << "\"}";
+  if (rec.rss_available) {
+    os << ",\"rss\":{\"available\":true,\"min_bytes\":" << mem_uint(rec.rss_min)
+       << ",\"max_bytes\":" << mem_uint(rec.rss_max)
+       << ",\"mean_bytes\":" << fmt(rec.rss_mean)
+       << ",\"imbalance\":" << fmt(rec.rss_imbalance)
+       << ",\"argmax_rank\":" << rec.rss_argmax
+       << ",\"hwm_bytes\":" << mem_uint(rec.rss_hwm_max)
+       << ",\"hwm_phase\":\"" << rec.rss_hwm_phase << "\"}";
+  } else {
+    // Exactly this shape: check_telemetry.py fails records that mix
+    // available:false with numeric RSS fields.
+    os << ",\"rss\":{\"available\":false}";
+  }
+  os << ",\"subsystems\":[";
+  for (std::size_t i = 0; i < rec.subsystems.size(); ++i) {
+    const MemScopeStat& s = rec.subsystems[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << s.scope << "\",\"bytes\":" << mem_uint(s.total)
+       << ",\"max_bytes\":" << mem_uint(s.max)
+       << ",\"argmax_rank\":" << s.argmax;
+    if (dofs > 0)
+      os << ",\"bytes_per_dof\":"
+         << fmt(static_cast<double>(s.total) / static_cast<double>(dofs));
+    os << "}";
+  }
+  os << "],\"scopes\":[";
+  for (std::size_t i = 0; i < rec.scopes.size(); ++i) {
+    const MemScopeStat& s = rec.scopes[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << s.scope << "\",\"bytes\":" << mem_uint(s.total)
+       << "}";
+  }
+  os << "]";
+  if (dofs > 0)
+    os << ",\"bytes_per_dof\":"
+       << fmt(static_cast<double>(rec.acc_total) / static_cast<double>(dofs));
+  if (!drift_json.empty()) os << ",\"drift\":" << drift_json;
+  os << "}";
   return os.str();
 }
 

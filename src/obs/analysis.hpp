@@ -97,4 +97,56 @@ std::string wait_states_json(const StepRecord& rec);
 std::string critical_path_json(const RunSummary& sum);
 std::string wait_states_json(const RunSummary& sum);
 
+// ---- memory aggregation (obs/mem.hpp across ranks) ---------------------
+
+/// One memory scope reduced over ranks.
+struct MemScopeStat {
+  std::string scope;        // full "subsystem.detail" name
+  std::uint64_t total = 0;  // summed over ranks
+  std::uint64_t max = 0;    // worst single rank
+  int argmax = -1;
+};
+
+/// Everything analyze_memory derives for one timestep; identical on every
+/// rank. `enabled` is false (and nothing else valid) when obs::mem is off.
+struct MemRecord {
+  int step = 0;
+  bool enabled = false;
+  int ranks = 0;
+  // Accounted (registry) bytes per rank.
+  std::uint64_t acc_min = 0, acc_max = 0, acc_total = 0;
+  double acc_median = 0, acc_mean = 0, acc_imbalance = 1;
+  int acc_argmax = -1;
+  std::vector<std::uint64_t> acc_by_rank;  // drift detector input
+  std::uint64_t acc_hwm_max = 0;  // worst rank's accounted high-water mark
+  std::string acc_hwm_phase;      // phase it was set in ("" = unattributed)
+  // Process RSS (identical across in-process ranks; kept per rank so the
+  // schema survives a real-MPI backend).
+  bool rss_available = false;
+  std::uint64_t rss_min = 0, rss_max = 0;
+  double rss_mean = 0, rss_imbalance = 1;
+  int rss_argmax = -1;
+  std::uint64_t rss_hwm_max = 0;  // max over ranks of sampled-peak RSS
+  std::string rss_hwm_phase;
+  std::vector<MemScopeStat> scopes;       // full names, sorted
+  std::vector<MemScopeStat> subsystems;   // grouped by prefix before '.'
+};
+
+/// Collective: allgather every rank's accounted bytes, HWMs, RSS sample,
+/// and scope snapshot, and return the stitched record. Every rank of
+/// `comm` must call it together. When obs::mem is disabled no
+/// communication happens (the gate is process-global, so all ranks
+/// branch the same way).
+MemRecord analyze_memory(par::Comm& comm, int step);
+
+/// The telemetry "memory" block: {"available":..,"accounted":{..},
+/// "rss":{..},"subsystems":[..],"scopes":[..]}. Subsystems group scopes
+/// by the name prefix before the first '.'; bytes_per_dof fields are
+/// emitted when `dofs` > 0. When RSS is unavailable its object is exactly
+/// {"available":false} — no numeric fields (check_telemetry.py rejects
+/// mixtures). `drift_json`, when non-empty, is embedded verbatim as the
+/// "drift" member (rhea's detector state).
+std::string memory_json(const MemRecord& rec, std::int64_t dofs,
+                        const std::string& drift_json = {});
+
 }  // namespace alps::obs::analysis

@@ -1,11 +1,13 @@
 #include "obs/dump.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
+#include "obs/mem.hpp"
 #include "obs/obs.hpp"
 #include "obs/telemetry.hpp"
 
@@ -90,6 +92,51 @@ std::string residuals_json() {
   return out;
 }
 
+std::string memory_json() {
+  if (!mem_enabled()) return "{\"available\": false}";
+  std::string out = "{\"available\": true,\n  \"accounted\": {";
+  std::uint64_t total = 0, hwm_max = 0;
+  const char* hwm_phase = nullptr;
+  out += "\"by_rank\": [";
+  const int p = world_size();
+  for (int r = 0; r < p; ++r) {
+    if (r > 0) out += ", ";
+    const std::uint64_t acc = mem_accounted(r);
+    total += acc;
+    out += std::to_string(acc);
+    const MemHwm h = mem_hwm(r);
+    if (h.bytes >= hwm_max) {
+      hwm_max = h.bytes;
+      hwm_phase = h.phase;
+    }
+  }
+  out += "], \"total_bytes\": " + std::to_string(total);
+  out += ", \"hwm_bytes\": " + std::to_string(hwm_max);
+  out += ", \"hwm_phase\": \"" +
+         std::string(hwm_phase != nullptr ? hwm_phase : "") + "\"},";
+  const RssSample rss = sample_rss();
+  if (rss.available) {
+    const RssPeak peak = rss_peak();
+    out += "\n  \"rss\": {\"available\": true, \"rss_bytes\": " +
+           std::to_string(rss.rss_bytes) +
+           ", \"hwm_bytes\": " +
+           std::to_string(std::max(rss.hwm_bytes, peak.bytes)) +
+           ", \"peak_phase\": \"" +
+           std::string(peak.phase != nullptr ? peak.phase : "") + "\"},";
+  } else {
+    out += "\n  \"rss\": {\"available\": false},";
+  }
+  out += "\n  \"scopes\": {";
+  bool first = true;
+  for (const auto& [name, bytes] : aggregate_mem()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + name + "\": " + std::to_string(bytes);
+  }
+  out += "\n  }\n}";
+  return out;
+}
+
 }  // namespace
 
 std::string dump_dir() {
@@ -113,6 +160,7 @@ std::string panic_dump(const std::string& reason) noexcept {
     write_file(dir / "counters.json", counters_json());
     write_file(dir / "phases.json", phases_json());
     write_file(dir / "residuals.json", residuals_json());
+    write_file(dir / "memory.json", memory_json());
     std::string tail;
     for (const std::string& line : telemetry_tail()) tail += line + "\n";
     write_file(dir / "telemetry_tail.jsonl", tail);

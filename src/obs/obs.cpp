@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "obs/hwcounters.hpp"
+#include "obs/mem.hpp"
 
 namespace alps::obs {
 
@@ -160,6 +161,7 @@ void world_begin(int nranks) {
   s.epoch = Clock::now();
   g_generation.fetch_add(1, std::memory_order_relaxed);
   detail::world_begin(nranks);
+  memdetail::world_begin(nranks);
 }
 
 void rank_bind(int rank) {
@@ -167,11 +169,13 @@ void rank_bind(int rank) {
   tl_phase_depth = 0;
   tl_wait_suppressed = false;
   detail::rank_bind(rank);
+  memdetail::rank_bind(rank);
 }
 
 void rank_unbind() {
   tl_slot = nullptr;
   detail::rank_unbind();
+  memdetail::rank_unbind();
 }
 
 int world_size() { return static_cast<int>(state().slots.size()); }
@@ -204,6 +208,10 @@ Span::~Span() {
   RankSlot* slot = tl_slot;
   if (slot == nullptr || !(record_ || phase_)) return;
   if (phase_ && tl_phase_depth > 0) --tl_phase_depth;
+  // RSS only moves when something allocated, and allocations live inside
+  // phases — so phase closes are the natural (cheap, cadenced) sampling
+  // points for the memory peak tracker.
+  if (phase_) memdetail::phase_close_tick(name_);
   const std::uint64_t t1 = now_ns();
   if (phase_)
     slot->phases[name_] += static_cast<double>(t1 - t0_) * 1e-9;
@@ -365,6 +373,21 @@ std::vector<PhaseBreakdown> aggregate_phases() {
 
 const char* current_phase() {
   return tl_phase_depth > 0 ? tl_phase_stack[tl_phase_depth - 1] : nullptr;
+}
+
+std::uint64_t self_memory_bytes() {
+  const RankSlot* slot = tl_slot;
+  if (slot == nullptr) return 0;
+  std::uint64_t b = slot->ring.capacity() * sizeof(SpanEvent);
+  b += slot->flows.capacity() * sizeof(FlowEvent);
+  b += slot->counters.capacity() * sizeof(std::uint64_t);
+  // Hash-map footprints are estimates: bucket array + one node per entry.
+  b += slot->phases.size() *
+       (sizeof(std::string) + sizeof(double) + 2 * sizeof(void*));
+  b += slot->waits.size() * (sizeof(PhaseWaitSlot) + 2 * sizeof(void*));
+  b += slot->flow_seq.size() *
+       (sizeof(std::uint64_t) + sizeof(std::uint32_t) + 2 * sizeof(void*));
+  return b;
 }
 
 std::vector<std::pair<std::string, std::vector<double>>> phase_table() {

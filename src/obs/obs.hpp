@@ -136,6 +136,11 @@ std::uint64_t dropped(int rank);
 /// outside any phase. Wait-state classification keys its buckets on this.
 const char* current_phase();
 
+/// Approximate bytes held by the calling rank's own obs state (span ring,
+/// flow buffer, counter/phase tables) — what the "obs.self" memory scope
+/// reports, so the observer shows up in its own accounting.
+std::uint64_t self_memory_bytes();
+
 // ---- wait-state instrumentation (consumed by obs::analysis) -----------
 //
 // The par::Comm runtime stamps every message envelope with its send time

@@ -171,6 +171,18 @@ std::uint64_t telemetry_records() {
   return s.records;
 }
 
+std::uint64_t telemetry_tail_bytes() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  std::uint64_t b = 0;
+  for (const std::string& line : s.tail) b += line.capacity() + sizeof line;
+  for (const auto& [name, q] : s.histories) {
+    b += name.capacity() + sizeof(std::string);
+    for (const auto& h : q) b += h.capacity() * sizeof(double) + sizeof h;
+  }
+  return b;
+}
+
 // ---- solver history registry ------------------------------------------
 
 void record_history(const char* name, std::span<const double> values) {

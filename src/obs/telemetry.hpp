@@ -81,6 +81,10 @@ std::vector<std::string> telemetry_tail();
 /// Number of records emitted since process start (monotonic).
 std::uint64_t telemetry_records();
 
+/// Bytes held by the in-memory tail ring and history registry — what the
+/// "obs.telemetry" memory scope reports (see obs/mem.hpp).
+std::uint64_t telemetry_tail_bytes();
+
 // ---- solver history registry ------------------------------------------
 
 /// Keep `values` as the most recent history under `name` (per-iteration

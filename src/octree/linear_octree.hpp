@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/mem.hpp"
 #include "octree/octant.hpp"
 #include "par/comm.hpp"
 
@@ -81,6 +82,12 @@ class LinearOctree {
   bool locally_valid() const;
   /// The union of all leaves tiles the forest with no gaps or overlaps.
   static bool globally_complete(par::Comm& comm, const LinearOctree& t);
+
+  /// This rank's heap bytes: the local leaf slice plus the replicated
+  /// ownership ranges (the "forest.octants" memory scope).
+  std::uint64_t memory_bytes() const {
+    return obs::vec_bytes(leaves_) + obs::vec_bytes(range_begins_);
+  }
 
  private:
   std::int32_t num_trees_ = 1;

@@ -14,6 +14,17 @@ World::World(int size)
   if (size < 1) throw std::invalid_argument("par::World: size must be >= 1");
 }
 
+std::uint64_t World::mailbox_pending_bytes(int rank) {
+  if (rank < 0 || rank >= size_)
+    throw std::out_of_range("par::World: bad rank");
+  detail::Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(box.mtx);
+  std::uint64_t bytes = 0;
+  for (const detail::Envelope& e : box.queue)
+    bytes += e.data.capacity() + sizeof e;
+  return bytes;
+}
+
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
   if (dest < 0 || dest >= size())
     throw std::out_of_range("par::Comm::send: bad destination rank");

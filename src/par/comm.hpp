@@ -109,6 +109,11 @@ class World {
   int size() const { return size_; }
   AtomicCommStats& stats() { return stats_; }
 
+  /// Bytes of undelivered envelopes queued in `rank`'s mailbox (payload
+  /// plus envelope headers) — what the "par.mailbox" memory scope
+  /// reports. Takes the mailbox lock; cold path.
+  std::uint64_t mailbox_pending_bytes(int rank);
+
  private:
   friend class Comm;
 
@@ -320,6 +325,11 @@ class Comm {
   }
 
   AtomicCommStats& stats() { return world_->stats_; }
+
+  /// Bytes queued for (but not yet received by) this rank.
+  std::uint64_t pending_recv_bytes() {
+    return world_->mailbox_pending_bytes(rank_);
+  }
 
  private:
   static constexpr int kAlltoallTag = 0x7f00;

@@ -1,14 +1,17 @@
 #include "rhea/simulation.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <limits>
+#include <sstream>
 #include <thread>
 
 #include "io/vtk.hpp"
 #include "mesh/fields.hpp"
 #include "obs/dump.hpp"
+#include "obs/mem.hpp"
 #include "obs/obs.hpp"
 #include "obs/telemetry.hpp"
 #include "octree/mark.hpp"
@@ -218,6 +221,11 @@ void Simulation::adapt_once() {
     OBS_PHASE_SPAN("amr.interpolate_fields");
     const octree::Correspondence corr =
         octree::compute_correspondence(old_leaves, tree.leaves());
+    // Transient workspace: the old-leaf snapshot, the correspondence, and
+    // the element-value field live only for this interpolation.
+    OBS_MEM_SCOPE("amr.workspace", obs::vec_bytes(old_leaves) +
+                                       obs::vec_bytes(corr.entries) +
+                                       obs::vec_bytes(ev));
     ev = mesh::interpolate_element_values(old_leaves, tree.leaves(), corr, ev);
   }
 
@@ -245,9 +253,11 @@ void Simulation::run(int steps) {
   const obs::CounterId vcycles_id = obs::wellknown::amg_vcycles();
   for (int s = 0; s < steps; ++s) {
     const std::uint64_t vc0 = obs::counter_value(comm_->rank(), vcycles_id);
+    bool adapted = false;
     if (steps_ > 0 && cfg_.adapt_every > 0 && steps_ % cfg_.adapt_every == 0) {
       adapt_once();
       update_velocity();
+      adapted = true;
     } else if (!cfg_.prescribed_velocity && cfg_.stokes_every > 0 &&
                steps_ % cfg_.stokes_every == 0 && steps_ > 0) {
       update_velocity();
@@ -285,17 +295,177 @@ void Simulation::run(int steps) {
         obs::analysis_enabled() && obs::telemetry_enabled();
     if (analyzed) arec = obs::analysis::analyze_step(*comm_, steps_);
 
+    // Memory accounting + aggregation every step (decoupled from the
+    // analysis gate: the drift detector must run even without telemetry).
+    // analyze_memory is collective; mem_enabled() is process-global.
+    obs::analysis::MemRecord mrec;
+    std::string drift_json;
+    const bool mem_on = obs::mem_enabled();
+    if (mem_on) {
+      account_memory();
+      mrec = obs::analysis::analyze_memory(*comm_, steps_);
+      drift_json = update_mem_drift(mrec, adapted);
+    }
+
     if (obs::telemetry_enabled())
       emit_step_telemetry(
           dt, obs::counter_value(comm_->rank(), vcycles_id) - vc0,
-          analyzed ? &arec : nullptr);
+          analyzed ? &arec : nullptr, mem_on ? &mrec : nullptr, drift_json);
+    // The drift record is in the telemetry tail by now, so the flight
+    // recorder captures it. The trip is computed from allgathered data,
+    // so every rank reaches this together.
+    if (mem_drift_trip_) mem_drift_panic();
     if (cfg_.sentinels) check_sentinels();
   }
 }
 
+void Simulation::account_memory() {
+  using obs::mem_scope;
+  using obs::mem_set;
+  static const obs::MemScopeId kForest = mem_scope("forest.octants");
+  static const obs::MemScopeId kMeshTopo = mem_scope("mesh.topology");
+  static const obs::MemScopeId kMeshDofs = mem_scope("mesh.dofs");
+  static const obs::MemScopeId kMeshHalo = mem_scope("mesh.halo");
+  static const obs::MemScopeId kFemPlan = mem_scope("fem.plan");
+  static const obs::MemScopeId kEnergy = mem_scope("energy.fields");
+  static const obs::MemScopeId kFields = mem_scope("rhea.fields");
+  static const obs::MemScopeId kAmgOps = mem_scope("amg.operators");
+  static const obs::MemScopeId kAmgInterp = mem_scope("amg.interpolation");
+  static const obs::MemScopeId kAmgRap = mem_scope("amg.rap_plan");
+  static const obs::MemScopeId kAmgCoarse = mem_scope("amg.coarse");
+  static const obs::MemScopeId kAmgCache = mem_scope("amg.cache");
+  static const obs::MemScopeId kMailbox = mem_scope("par.mailbox");
+  static const obs::MemScopeId kObsSelf = mem_scope("obs.self");
+  static const obs::MemScopeId kObsTel = mem_scope("obs.telemetry");
+  static const obs::MemScopeId kInject = mem_scope("test.drift_inject");
+
+  mem_set(kForest, forest_.memory_bytes());
+  const mesh::Mesh::MemoryBytes mb = mesh_.memory_bytes();
+  mem_set(kMeshTopo, mb.topology);
+  mem_set(kMeshDofs, mb.dofs);
+  mem_set(kMeshHalo, mb.halo);
+  mem_set(kFemPlan, energy_ ? energy_->op().memory_bytes() : 0);
+  mem_set(kEnergy, energy_ ? energy_->memory_bytes() : 0);
+  mem_set(kFields,
+          obs::vec_bytes(temperature_) + obs::vec_bytes(solution_));
+
+  amg::DistAmg::MemoryBytes ab;
+  for (const auto& a : amg_cache_.amg) {
+    if (!a) continue;
+    const amg::DistAmg::MemoryBytes m = a->memory_bytes();
+    ab.operators += m.operators;
+    ab.interpolation += m.interpolation;
+    ab.rap += m.rap;
+    ab.coarse += m.coarse;
+    ab.scratch += m.scratch;
+  }
+  mem_set(kAmgOps, ab.operators);
+  mem_set(kAmgInterp, ab.interpolation);
+  mem_set(kAmgRap, ab.rap);
+  mem_set(kAmgCoarse, ab.coarse);
+  // The cache scope holds what reuse keeps alive beyond the operators
+  // themselves: the viscosity snapshot and the cycle workspaces.
+  mem_set(kAmgCache, obs::vec_bytes(amg_cache_.eta_snapshot) + ab.scratch);
+
+  mem_set(kMailbox, comm_->pending_recv_bytes());
+  mem_set(kObsSelf, obs::self_memory_bytes());
+  mem_set(kObsTel, obs::telemetry_tail_bytes());
+  // Synthetic linear leak for the drift-detector acceptance test.
+  const std::uint64_t inject =
+      (comm_->rank() == cfg_.mem_drift_inject_rank &&
+       cfg_.mem_drift_inject_bytes > 0)
+          ? static_cast<std::uint64_t>(steps_) *
+                static_cast<std::uint64_t>(cfg_.mem_drift_inject_bytes)
+          : 0;
+  mem_set(kInject, inject);
+}
+
+std::string Simulation::update_mem_drift(const obs::analysis::MemRecord& mrec,
+                                         bool adapted) {
+  if (adapted) {
+    // Footprint discontinuities across an adaptation are expected; start
+    // a fresh window on the new mesh.
+    mem_window_.clear();
+    mem_window_rss_.clear();
+  }
+  mem_window_.push_back(mrec.acc_by_rank);
+  mem_window_rss_.push_back(mrec.rss_available ? mrec.rss_max : 0);
+  const std::size_t w =
+      static_cast<std::size_t>(std::max(3, cfg_.mem_drift_window));
+  while (mem_window_.size() > w) {
+    mem_window_.erase(mem_window_.begin());
+    mem_window_rss_.erase(mem_window_rss_.begin());
+  }
+  if (mem_window_.size() < w) return {};
+
+  // Least-squares slope of y over sample index 0..n-1.
+  const std::size_t n = mem_window_.size();
+  const auto slope_of = [n](const std::function<double(std::size_t)>& y) {
+    const double xbar = static_cast<double>(n - 1) / 2.0;
+    double ybar = 0.0;
+    for (std::size_t i = 0; i < n; ++i) ybar += y(i);
+    ybar /= static_cast<double>(n);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = static_cast<double>(i) - xbar;
+      num += dx * (y(i) - ybar);
+      den += dx * dx;
+    }
+    return num / den;
+  };
+
+  const std::size_t ranks = mem_window_.front().size();
+  double max_slope = 0.0;
+  int arg = -1;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const double s = slope_of([this, r](std::size_t i) {
+      return static_cast<double>(mem_window_[i][r]);
+    });
+    if (arg < 0 || s > max_slope) {
+      max_slope = s;
+      arg = static_cast<int>(r);
+    }
+  }
+  const double rss_slope = slope_of([this](std::size_t i) {
+    return static_cast<double>(mem_window_rss_[i]);
+  });
+
+  const bool warn = max_slope > cfg_.mem_drift_warn_bytes_per_step;
+  const bool panic = cfg_.mem_drift_panic_bytes_per_step > 0.0 &&
+                     max_slope > cfg_.mem_drift_panic_bytes_per_step;
+  if (panic && !mem_drift_trip_) {
+    mem_drift_trip_ = true;
+    std::ostringstream os;
+    os << "memory drift: rank " << arg << " accounted bytes growing ~"
+       << static_cast<long long>(max_slope) << " bytes/step over last " << n
+       << " steps";
+    mem_drift_reason_ = os.str();
+  }
+
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\"window\":" << w << ",\"samples\":" << n
+     << ",\"slope_bytes_per_step\":" << max_slope << ",\"rank\":" << arg
+     << ",\"rss_slope_bytes_per_step\":" << rss_slope
+     << ",\"warn\":" << (warn ? "true" : "false")
+     << ",\"panic\":" << (panic ? "true" : "false") << "}";
+  return os.str();
+}
+
+void Simulation::mem_drift_panic() {
+  // Mirrors check_sentinels: the trip was derived from allgathered data,
+  // so every rank arrives here together and the barriers keep the other
+  // rank threads quiescent while rank 0 reads their obs slots.
+  comm_->barrier();
+  if (comm_->rank() == 0) obs::panic_dump(mem_drift_reason_);
+  comm_->barrier();
+  throw SentinelError(mem_drift_reason_);
+}
+
 void Simulation::emit_step_telemetry(
     double dt, std::uint64_t step_vcycles,
-    const obs::analysis::StepRecord* analysis) {
+    const obs::analysis::StepRecord* analysis,
+    const obs::analysis::MemRecord* mem, const std::string& drift_json) {
   // Collective statistics first (every rank participates), then one rank
   // writes the record.
   const std::int64_t local_elements = forest_.tree().num_local();
@@ -358,6 +528,9 @@ void Simulation::emit_step_telemetry(
     rec.field_json("critical_path",
                    obs::analysis::critical_path_json(*analysis))
         .field_json("wait_states", obs::analysis::wait_states_json(*analysis));
+  if (mem != nullptr)
+    rec.field_json("memory",
+                   obs::analysis::memory_json(*mem, mesh_.n_global, drift_json));
   obs::telemetry_emit(rec);
 }
 

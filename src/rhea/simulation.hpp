@@ -97,6 +97,25 @@ struct SimConfig {
   /// late-sender time to this rank (obs::analysis acceptance check).
   int slow_rank = -1;
   int slow_rank_us = 0;
+
+  /// Memory-drift detector (obs::mem): per-rank accounted bytes are
+  /// linear-fitted over a sliding window of this many consecutive
+  /// non-adapting steps (the window resets on every adaptation, where
+  /// footprint changes are expected). Minimum 3.
+  int mem_drift_window = 8;
+  /// Fitted growth rate (bytes/step) above which a drift warning is
+  /// embedded in the telemetry memory block's "drift" member.
+  double mem_drift_warn_bytes_per_step = 1 << 20;
+  /// Growth rate above which the flight recorder trips: the telemetry
+  /// record is still emitted, then every rank writes/throws like the NaN
+  /// sentinels (obs::panic_dump names the leaking rank, SentinelError
+  /// propagates, exit code 3 through rhea_main). 0 = never panic.
+  double mem_drift_panic_bytes_per_step = 0.0;
+  /// Test hook: report steps_ * mem_drift_inject_bytes into the
+  /// "test.drift_inject" scope on this rank (-1 = never), a synthetic
+  /// linear leak that provably trips the detector.
+  int mem_drift_inject_rank = -1;
+  std::int64_t mem_drift_inject_bytes = 0;
 };
 
 /// Thrown (on every rank) when the NaN/Inf sentinels trip; the
@@ -145,8 +164,23 @@ class Simulation {
  private:
   void extract_and_rebuild(std::span<const double> element_temps);
   void emit_step_telemetry(double dt, std::uint64_t step_vcycles,
-                           const obs::analysis::StepRecord* analysis);
+                           const obs::analysis::StepRecord* analysis,
+                           const obs::analysis::MemRecord* mem,
+                           const std::string& drift_json);
   void check_sentinels();
+
+  /// Pull-model byte accounting: push every subsystem's current
+  /// memory_bytes() into its obs::mem scope (once per step, cold path).
+  void account_memory();
+  /// Slide the drift window, fit per-rank growth, and return the drift
+  /// JSON for the telemetry memory block ("" until the window is full).
+  /// Sets mem_drift_trip_/mem_drift_reason_ when the panic threshold is
+  /// exceeded; the throw happens later (after telemetry) in run().
+  std::string update_mem_drift(const obs::analysis::MemRecord& mrec,
+                               bool adapted);
+  /// Collective panic path for a tripped drift detector (mirrors
+  /// check_sentinels: barrier, rank-0 panic_dump, barrier, throw).
+  [[noreturn]] void mem_drift_panic();
 
   par::Comm* comm_;
   SimConfig cfg_;
@@ -164,6 +198,14 @@ class Simulation {
   // AMG hierarchies shared across Picard iterations and non-adapting
   // timesteps; its epoch is bumped on every mesh rebuild.
   amg::HierarchyCache amg_cache_;
+  // Drift-detector window: one row per non-adapting step, per-rank
+  // accounted bytes (identical on every rank — analyze_memory allgathers
+  // them — so the trip decision below is collective-safe without another
+  // reduction). Cleared on every adaptation.
+  std::vector<std::vector<std::uint64_t>> mem_window_;
+  std::vector<std::uint64_t> mem_window_rss_;  // max-rank RSS per row
+  bool mem_drift_trip_ = false;
+  std::string mem_drift_reason_;
 };
 
 }  // namespace alps::rhea

@@ -134,7 +134,9 @@ TEST_F(TelemetryTest, HistoryRegistryIsBoundedPerName) {
   for (const auto& [name, hists] : obs::histories()) {
     if (name != "test.hist") continue;
     EXPECT_EQ(hists.size(), 4u);  // bounded, newest kept
-    EXPECT_DOUBLE_EQ(hists.back()[2], 0.6);
+    // FIFO eviction: inserts 0..6 keep exactly 3,4,5,6 in order.
+    for (std::size_t h = 0; h < hists.size(); ++h)
+      EXPECT_DOUBLE_EQ(hists[h][2], 0.1 * (3.0 + static_cast<double>(h)));
     return;
   }
   FAIL() << "history name not found";
@@ -299,7 +301,8 @@ TEST_F(TelemetryTest, SentinelTripWritesFlightRecorderBundle) {
   // The bundle exists and has every artifact of the documented layout.
   for (const char* name :
        {"reason.txt", "trace.json", "counters.json", "phases.json",
-        "residuals.json", "telemetry_tail.jsonl", "snapshot.vtk"}) {
+        "residuals.json", "memory.json", "telemetry_tail.jsonl",
+        "snapshot.vtk"}) {
     EXPECT_TRUE(
         std::filesystem::exists(std::filesystem::path(dump_dir) / name))
         << name;
