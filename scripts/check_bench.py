@@ -18,6 +18,13 @@ must issue at most --max-sync reductions per iteration and the fused
 multi-value reductions must not change iteration counts by more than
 --max-iter-delta versus one-reduction-per-dot.
 
+bench_amr (cases[].extract_speedup): the hashed mesh extraction must
+beat the per-corner reference by --min-extract-speedup at the largest
+problem size; every case on which no repartition happened must reuse a
+strictly positive fraction of elements via the incremental path
+(> --min-reuse) without falling back; and the reported AMR share of
+the full step time must be finite.
+
 bench_memory (cases[].bytes_per_dof): accounted memory per dof must not
 grow with refinement level — the paper's memory-per-core-bounded claim.
 Fails when the highest level's bytes/dof exceeds --max-mem-ratio times
@@ -93,6 +100,63 @@ def check_apply(data, args) -> int:
               f"(max {args.max_iter_delta}): "
               f"{'PASS' if line_ok else 'FAIL'}")
         ok = ok and line_ok
+    return 0 if ok else 1
+
+
+def check_amr(data, args) -> int:
+    import math
+
+    cases = [c for c in data.get("cases", [])
+             if "extract_speedup" in c and "level" in c]
+    if not cases:
+        print("check_bench: no amr cases found")
+        return 1
+    cases.sort(key=lambda c: c["level"])
+    ok = True
+    for c in cases:
+        print(f"  level {c['level']}: reference "
+              f"{c.get('reference_s', 0) * 1e3:.1f} ms, hashed "
+              f"{c.get('hashed_s', 0) * 1e3:.1f} ms, speedup "
+              f"{c['extract_speedup']:.2f}x "
+              f"(elements={c.get('elements', '?')})")
+        if "reuse_fraction" in c:
+            rf = c["reuse_fraction"]
+            repart = c.get("repartitioned", False)
+            fb = c.get("fallback", False)
+            print(f"    incremental: {c.get('incremental_s', 0) * 1e3:.1f} ms,"
+                  f" reuse {rf:.1%}, repartitioned={repart}, fallback={fb}")
+            if not repart:
+                if fb:
+                    print(f"check_bench: FAIL level {c['level']}: incremental "
+                          f"path fell back without a repartition")
+                    ok = False
+                if rf <= args.min_reuse:
+                    print(f"check_bench: FAIL level {c['level']}: reuse "
+                          f"fraction {rf:.3f} not above {args.min_reuse:.3f} "
+                          f"on a non-repartitioning adapt")
+                    ok = False
+
+    top = cases[-1]
+    verdict = "PASS" if top["extract_speedup"] >= args.min_extract_speedup \
+        else "FAIL"
+    print(f"check_bench: level {top['level']} extract speedup = "
+          f"{top['extract_speedup']:.2f}x "
+          f"(min required {args.min_extract_speedup:.2f}): {verdict}")
+    ok = ok and top["extract_speedup"] >= args.min_extract_speedup
+
+    share = data.get("amr_share")
+    if isinstance(share, dict):
+        s = share.get("share")
+        if not isinstance(s, (int, float)) or not math.isfinite(s):
+            print(f"check_bench: FAIL amr_share.share not finite: {s!r}")
+            ok = False
+        else:
+            print(f"check_bench: AMR share of step time = {s:.1%} "
+                  f"(amr {share.get('amr_s', 0):.3f}s of "
+                  f"{share.get('step_s', 0):.3f}s)")
+    else:
+        print("check_bench: FAIL missing amr_share block")
+        ok = False
     return 0 if ok else 1
 
 
@@ -173,6 +237,12 @@ def main() -> int:
     ap.add_argument("--min-mem-share", type=float, default=0.05,
                     help="memory: minimum share of the highest level's "
                     "footprint for a subsystem to be gated")
+    ap.add_argument("--min-extract-speedup", type=float, default=2.0,
+                    help="amr: required hashed-vs-reference extraction "
+                    "speedup at the largest level")
+    ap.add_argument("--min-reuse", type=float, default=0.0,
+                    help="amr: reuse fraction on non-repartitioning adapts "
+                    "must be strictly above this")
     args = ap.parse_args()
 
     try:
@@ -183,6 +253,8 @@ def main() -> int:
         return 1
 
     cases = data.get("cases", [])
+    if any("extract_speedup" in c for c in cases):
+        return check_amr(data, args)
     if any("speedup" in c for c in cases):
         return check_apply(data, args)
     if any("setup_ns_per_nnz" in c for c in cases):

@@ -8,6 +8,11 @@ JSONL mode (default):
     nusselt, v_rms, t_min, t_max, t_mean),
   * "step" is strictly increasing, "time" non-decreasing, "dt" > 0,
   * "per_level" is a list of non-negative ints summing to "elements",
+  * optional "timings" blocks (per-step phase seconds) carry a bool
+    "adapted" and non-negative finite phase entries, with the AMR
+    phases (extract in particular) at zero on non-adapting steps, and
+    the extraction reuse statistics, when present, are non-negative
+    counts plus a bool fallback flag,
   * optional "memory" blocks obey the accounting invariants: imbalance
     >= 1, min <= mean <= max <= hwm, the accounted and RSS high-water
     marks never decrease across records, accounted total <= global RSS
@@ -113,6 +118,39 @@ def check_memory_block(mem, where, hwm_state) -> None:
         fail(f"{where}: accounted total {total} exceeds RSS {rmax}")
 
 
+TIMING_KEYS = [
+    "mark", "coarsen_refine", "balance", "partition", "extract",
+    "interpolate", "transfer", "time_integration", "stokes",
+]
+
+
+def check_timings_block(t, where) -> None:
+    """Validate one record's "timings" block: the AMR cycle phase seconds
+    are non-negative, and phases that only run inside an adaptation
+    (extraction above all) are zero on non-adapting steps."""
+    if not isinstance(t, dict):
+        fail(f"{where}: \"timings\" is not an object")
+    if not isinstance(t.get("adapted"), bool):
+        fail(f"{where}: timings.adapted is not a bool")
+    for key in TIMING_KEYS:
+        v = _num(t, key, where)
+        if v < -1e-9:
+            fail(f"{where}: timings.{key} is negative: {v}")
+    if not t["adapted"]:
+        for key in ("mark", "coarsen_refine", "balance", "partition",
+                    "extract", "interpolate", "transfer"):
+            if t[key] > 1e-6:
+                fail(f"{where}: timings.{key} = {t[key]} on a "
+                     f"non-adapting step")
+    else:
+        for key in ("extract_reused", "extract_recomputed"):
+            if key in t and _num(t, key, where) < 0:
+                fail(f"{where}: timings.{key} is negative")
+        if ("extract_fallback" in t
+                and not isinstance(t["extract_fallback"], bool)):
+            fail(f"{where}: timings.extract_fallback is not a bool")
+
+
 def check_jsonl(path: str, min_records: int) -> None:
     try:
         with open(path, encoding="utf-8") as f:
@@ -126,6 +164,7 @@ def check_jsonl(path: str, min_records: int) -> None:
     prev_step, prev_time = None, None
     hwm_state = {}
     mem_records = 0
+    timing_records = 0
     for i, line in enumerate(lines, start=1):
         try:
             rec = json.loads(line)
@@ -162,11 +201,15 @@ def check_jsonl(path: str, min_records: int) -> None:
         if "memory" in rec:
             check_memory_block(rec["memory"], f"{path}:{i}", hwm_state)
             mem_records += 1
+        if "timings" in rec:
+            check_timings_block(rec["timings"], f"{path}:{i}")
+            timing_records += 1
         prev_step, prev_time = rec["step"], rec["time"]
 
     print(f"check_telemetry: OK: {len(lines)} records in {path}, "
           f"steps {lines and json.loads(lines[0])['step']}..{prev_step}, "
-          f"{mem_records} with memory blocks")
+          f"{mem_records} with memory blocks, "
+          f"{timing_records} with timings blocks")
 
 
 def check_bundle(dump_dir: str) -> None:

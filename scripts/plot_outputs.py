@@ -22,6 +22,11 @@ transfer / collective) per phase over steps below.
 Records with a "memory" block (ALPS_MEM on, the default) additionally get
 a <base>_memory.png: per-subsystem accounted bytes stacked over steps on
 top, accounted total / HWM and RSS / RSS-HWM time-series below.
+
+Records with a "timings" block additionally get a <base>_amr.png: the
+AMR cycle phases (mark / coarsen+refine / balance / partition / extract /
+interpolate / transfer) stacked per step on top, and the AMR share of
+the total step time below (adaptation steps marked).
 """
 
 import csv
@@ -205,6 +210,76 @@ def plot_memory(path):
     return out
 
 
+AMR_PHASES = ["mark", "coarsen_refine", "balance", "partition", "extract",
+              "interpolate", "transfer"]
+
+
+def load_amr(path):
+    """Per-step AMR timing series from "timings" blocks: (steps,
+    {phase: [seconds]}, [amr share of step], [adapted flags])."""
+    steps = []
+    phases = {ph: [] for ph in AMR_PHASES}
+    share = []
+    adapted = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            t = rec.get("timings")
+            if "step" not in rec or not isinstance(t, dict):
+                continue
+            steps.append(rec["step"])
+            amr = 0.0
+            for ph in AMR_PHASES:
+                v = t.get(ph, 0.0)
+                phases[ph].append(v)
+                amr += v
+            total = amr + t.get("time_integration", 0.0) + t.get("stokes", 0.0)
+            share.append(amr / total if total > 0 else 0.0)
+            adapted.append(bool(t.get("adapted")))
+    return steps, phases, share, adapted
+
+
+def plot_amr(path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    steps, phases, share, adapted = load_amr(path)
+    if not steps:
+        print(f"skip {path}: no timings records")
+        return None
+
+    fig, (ax1, ax2) = plt.subplots(2, 1, figsize=(10, 8), sharex=True)
+    bottom = [0.0] * len(steps)
+    for ph in AMR_PHASES:
+        col = phases[ph]
+        top = [bottom[i] + col[i] for i in range(len(steps))]
+        ax1.fill_between(steps, bottom, top, alpha=0.6, label=ph, step="mid")
+        bottom = top
+    ax1.set_ylabel("AMR phase seconds per step")
+    ax1.set_title(os.path.basename(path))
+    ax1.legend(fontsize=7, ncol=2)
+
+    ax2.plot(steps, [s * 100 for s in share], marker=".", lw=1)
+    for s, sh, ad in zip(steps, share, adapted):
+        if ad:
+            ax2.axvline(s, color="grey", lw=0.5, alpha=0.5)
+    ax2.set_xlabel("step")
+    ax2.set_ylabel("AMR share of step time [%]")
+    ax2.set_ylim(bottom=0)
+
+    out = path.rsplit(".", 1)[0] + "_amr.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    plt.close(fig)
+    print(f"wrote {out}")
+    return out
+
+
 def plot_csv(path, cols):
     import matplotlib
 
@@ -252,6 +327,8 @@ def main():
                     made += 1
                 if plot_memory(full):
                     made += 1
+                if plot_amr(full):
+                    made += 1
         if made == 0:
             print(f"no telemetry JSONL with analyzed steps under {path}")
             return 1
@@ -259,6 +336,7 @@ def main():
     if path.endswith(".jsonl"):
         made = 1 if plot_telemetry(path) else 0
         made += 1 if plot_memory(path) else 0
+        made += 1 if plot_amr(path) else 0
         return 0 if made else 1
     plot_csv(path, load(path))
     return 0

@@ -62,13 +62,16 @@ double eval_poly(const LglRule& rule, std::span<const double> vals,
 
 DgAdvection::DgAdvection(par::Comm& comm, const Forest& forest, int order,
                          GeometryFn geometry, VelocityFn velocity,
-                         bool use_matrix_kernel)
+                         bool use_matrix_kernel, std::span<const Octant> ghosts)
     : kernel_(order), use_matrix_kernel_(use_matrix_kernel),
       geometry_(std::move(geometry)), velocity_(std::move(velocity)),
       conn_(&forest.connectivity()) {
   const octree::LinearOctree& tree = forest.tree();
   elements_ = tree.leaves();
-  ghosts_ = mesh::ghost_layer(comm, tree, *conn_);
+  if (ghosts.empty())
+    ghosts_ = mesh::ghost_layer(comm, tree, *conn_);
+  else
+    ghosts_.assign(ghosts.begin(), ghosts.end());
 
   // Combined sorted table with slots.
   const std::int64_t ne = static_cast<std::int64_t>(elements_.size());

@@ -34,9 +34,13 @@ class DgAdvection {
   /// `use_matrix_kernel` selects the matrix-based element derivative
   /// application (6(p+1)^6 flops, one big dgemm) instead of the default
   /// tensor-product kernel (6(p+1)^4) — the Sec. VII trade-off.
+  /// `ghosts` takes a precomputed mesh::ghost_layer() result for this
+  /// forest so one adaptation round shares the layer between consumers;
+  /// empty (the default) computes it here.
   DgAdvection(par::Comm& comm, const Forest& forest, int order,
               GeometryFn geometry, VelocityFn velocity,
-              bool use_matrix_kernel = false);
+              bool use_matrix_kernel = false,
+              std::span<const Octant> ghosts = {});
 
   int order() const { return kernel_.order(); }
   std::int64_t nodes_per_elem() const { return kernel_.nodes_per_elem(); }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <stdexcept>
 
 namespace alps::forest {
@@ -95,19 +94,32 @@ Connectivity Connectivity::from_corners(const std::vector<TreeCorners>& corners)
   c.faces_.resize(corners.size());
   c.corners_ = corners;
 
-  // Assign vertex ids by deduplicating corner positions.
-  std::map<std::array<int, 3>, int> vid;
+  // Assign vertex ids by deduplicating corner positions: sort + unique
+  // once, then binary-search each corner. Ids are lexicographic ranks
+  // (only equality of ids matters downstream).
+  std::vector<std::array<int, 3>> verts;
+  verts.reserve(corners.size() * 8);
+  for (const TreeCorners& tc : corners)
+    for (const auto& pt : tc) verts.push_back(pt);
+  std::sort(verts.begin(), verts.end());
+  verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
   std::vector<std::array<int, 8>> tree_vids(corners.size());
   for (std::size_t t = 0; t < corners.size(); ++t)
-    for (int k = 0; k < 8; ++k) {
-      auto [it, inserted] =
-          vid.try_emplace(corners[t][static_cast<std::size_t>(k)],
-                          static_cast<int>(vid.size()));
-      tree_vids[t][static_cast<std::size_t>(k)] = it->second;
-    }
+    for (int k = 0; k < 8; ++k)
+      tree_vids[t][static_cast<std::size_t>(k)] = static_cast<int>(
+          std::lower_bound(verts.begin(), verts.end(),
+                           corners[t][static_cast<std::size_t>(k)]) -
+          verts.begin());
 
-  // Group faces by their (sorted) vertex-id quadruple.
-  std::map<std::array<int, 4>, std::vector<std::pair<int, int>>> by_key;
+  // Group faces by their (sorted) vertex-id quadruple: flat list sorted
+  // by key, shared faces become adjacent runs.
+  struct FaceUse {
+    std::array<int, 4> key;
+    int tree;
+    int face;
+  };
+  std::vector<FaceUse> uses;
+  uses.reserve(corners.size() * 6);
   for (std::size_t t = 0; t < corners.size(); ++t)
     for (int f = 0; f < 6; ++f) {
       std::array<int, 4> key;
@@ -117,14 +129,29 @@ Connectivity Connectivity::from_corners(const std::vector<TreeCorners>& corners)
                 kFaceCorners[static_cast<std::size_t>(f)]
                             [static_cast<std::size_t>(k)])];
       std::sort(key.begin(), key.end());
-      by_key[key].emplace_back(static_cast<int>(t), f);
+      uses.push_back(FaceUse{key, static_cast<int>(t), f});
     }
+  std::sort(uses.begin(), uses.end(), [](const FaceUse& a, const FaceUse& b) {
+    if (a.key != b.key) return a.key < b.key;
+    if (a.tree != b.tree) return a.tree < b.tree;
+    return a.face < b.face;
+  });
 
-  for (const auto& [key, users] : by_key) {
-    if (users.size() == 1) continue;  // physical boundary
-    if (users.size() != 2)
+  for (std::size_t lo = 0; lo < uses.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < uses.size() && uses[hi].key == uses[lo].key) ++hi;
+    const std::size_t nuse = hi - lo;
+    if (nuse == 1) {  // physical boundary
+      lo = hi;
+      continue;
+    }
+    if (nuse != 2)
       throw std::invalid_argument(
           "from_corners: a face is shared by more than two trees");
+    const std::array<std::pair<int, int>, 2> users = {
+        std::make_pair(uses[lo].tree, uses[lo].face),
+        std::make_pair(uses[lo + 1].tree, uses[lo + 1].face)};
+    lo = hi;
     for (int dirn = 0; dirn < 2; ++dirn) {
       const auto [ta, fa] = users[static_cast<std::size_t>(dirn)];
       const auto [tb, fb] = users[static_cast<std::size_t>(1 - dirn)];

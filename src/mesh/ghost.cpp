@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "octree/sort.hpp"
+
 namespace alps::mesh {
 
 namespace {
@@ -17,7 +19,7 @@ struct WireOctant {
 std::vector<Octant> ghost_layer(par::Comm& comm, const LinearOctree& tree,
                                 const Connectivity& conn) {
   const int p = comm.size();
-  std::vector<std::vector<WireOctant>> outbox(static_cast<std::size_t>(p));
+  std::vector<std::vector<Octant>> outbox(static_cast<std::size_t>(p));
   Octant n;
   for (const Octant& o : tree.leaves()) {
     for (int d = 0; d < octree::kNumAllDirs; ++d) {
@@ -27,32 +29,29 @@ std::vector<Octant> ghost_layer(par::Comm& comm, const LinearOctree& tree,
           tree.owner_of(octree::SfcKey{n.tree, n.morton_last()});
       for (int r = lo; r <= hi; ++r) {
         if (r == comm.rank()) continue;
-        outbox[static_cast<std::size_t>(r)].push_back(
-            WireOctant{o.tree, o.x, o.y, o.z, o.level});
+        outbox[static_cast<std::size_t>(r)].push_back(o);
       }
     }
   }
-  for (auto& v : outbox) {
-    std::sort(v.begin(), v.end(), [](const WireOctant& a, const WireOctant& b) {
-      return octree::sfc_less(
-          Octant{a.tree, a.x, a.y, a.z, static_cast<std::int8_t>(a.level)},
-          Octant{b.tree, b.x, b.y, b.z, static_cast<std::int8_t>(b.level)});
-    });
-    v.erase(std::unique(v.begin(), v.end(),
-                        [](const WireOctant& a, const WireOctant& b) {
-                          return a.tree == b.tree && a.x == b.x && a.y == b.y &&
-                                 a.z == b.z && a.level == b.level;
-                        }),
-            v.end());
+  std::vector<std::vector<WireOctant>> wire(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& v = outbox[static_cast<std::size_t>(r)];
+    octree::radix_sort_unique_sfc(v);
+    auto& w = wire[static_cast<std::size_t>(r)];
+    w.reserve(v.size());
+    for (const Octant& o : v)
+      w.push_back(WireOctant{o.tree, o.x, o.y, o.z, o.level});
   }
-  std::vector<std::vector<WireOctant>> inbox = comm.alltoallv(outbox);
+  std::vector<std::vector<WireOctant>> inbox = comm.alltoallv(wire);
   std::vector<Octant> ghosts;
+  std::size_t total = 0;
+  for (const auto& v : inbox) total += v.size();
+  ghosts.reserve(total);
   for (const auto& v : inbox)
     for (const WireOctant& w : v)
       ghosts.push_back(
           Octant{w.tree, w.x, w.y, w.z, static_cast<std::int8_t>(w.level)});
-  std::sort(ghosts.begin(), ghosts.end(), octree::sfc_less);
-  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  octree::radix_sort_unique_sfc(ghosts);
   return ghosts;
 }
 

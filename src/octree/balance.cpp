@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "octree/sort.hpp"
+
 namespace alps::octree {
 
 namespace {
@@ -26,37 +28,42 @@ bool default_neighbor(const Octant& o, int dir, Octant& out) {
 
 /// Generate the requirement octants of all local leaves and route each to
 /// the rank owning its anchor. Returns the requirements this rank must
-/// check/enforce (its own plus received), deduplicated.
+/// check/enforce (its own plus received), deduplicated. Only requirements
+/// anchored in another rank's region — necessarily boundary-adjacent — go
+/// over the wire; locally anchored ones (the bulk of the interior) are
+/// kept out of the exchange entirely.
 std::vector<Octant> route_requirements(par::Comm& comm,
                                        const LinearOctree& tree, int ndirs,
                                        const NeighborFn& nbr) {
   const int p = comm.size();
-  std::vector<std::vector<ReqOctant>> outbox(static_cast<std::size_t>(p));
+  const int self = comm.rank();
+  std::vector<std::vector<Octant>> outbox(static_cast<std::size_t>(p));
+  std::vector<Octant> reqs;
   Octant n;
   for (const Octant& o : tree.leaves()) {
     if (o.level < 2) continue;  // any neighbor satisfies 2:1 already
     for (int d = 0; d < ndirs; ++d) {
       if (!nbr(o, d, n)) continue;
       const Octant q = n.ancestor(o.level - 1);
-      outbox[static_cast<std::size_t>(tree.owner_of(q))].push_back(pack(q));
+      const int owner = tree.owner_of(q);
+      if (owner == self)
+        reqs.push_back(q);
+      else
+        outbox[static_cast<std::size_t>(owner)].push_back(q);
     }
   }
-  for (auto& v : outbox) {
-    std::sort(v.begin(), v.end(), [](const ReqOctant& a, const ReqOctant& b) {
-      return sfc_less(unpack(a), unpack(b));
-    });
-    v.erase(std::unique(v.begin(), v.end(),
-                        [](const ReqOctant& a, const ReqOctant& b) {
-                          return unpack(a) == unpack(b);
-                        }),
-            v.end());
+  std::vector<std::vector<ReqOctant>> wire(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& v = outbox[static_cast<std::size_t>(r)];
+    radix_sort_unique_sfc(v);
+    auto& w = wire[static_cast<std::size_t>(r)];
+    w.reserve(v.size());
+    for (const Octant& o : v) w.push_back(pack(o));
   }
-  std::vector<std::vector<ReqOctant>> inbox = comm.alltoallv(outbox);
-  std::vector<Octant> reqs;
+  std::vector<std::vector<ReqOctant>> inbox = comm.alltoallv(wire);
   for (const auto& v : inbox)
     for (const ReqOctant& r : v) reqs.push_back(unpack(r));
-  std::sort(reqs.begin(), reqs.end(), sfc_less);
-  reqs.erase(std::unique(reqs.begin(), reqs.end()), reqs.end());
+  radix_sort_unique_sfc(reqs);
   return reqs;
 }
 

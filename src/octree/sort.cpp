@@ -1,0 +1,68 @@
+#include "octree/sort.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+namespace alps::octree {
+
+namespace {
+
+// morton (57 bits) above level (5 bits): sorting this word ascending
+// orders by (morton, level) — the in-tree part of sfc_compare.
+inline std::uint64_t in_tree_key(const Octant& o) {
+  return (o.morton() << 5) | static_cast<std::uint64_t>(o.level);
+}
+
+struct KeyedIndex {
+  std::uint64_t k;      // in-tree key
+  std::uint32_t tree;   // sorted after k (more significant)
+  std::uint32_t i;      // original position
+};
+
+}  // namespace
+
+void radix_sort_sfc(std::vector<Octant>& v) {
+  const std::size_t n = v.size();
+  if (n < 2) return;
+
+  std::vector<KeyedIndex> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    a[i] = KeyedIndex{in_tree_key(v[i]), static_cast<std::uint32_t>(v[i].tree),
+                      static_cast<std::uint32_t>(i)};
+
+  KeyedIndex* src = a.data();
+  KeyedIndex* dst = b.data();
+  std::array<std::size_t, 256> count;
+  // Passes 0..7 over the in-tree key bytes, 8..11 over the tree bytes.
+  for (int pass = 0; pass < 12; ++pass) {
+    const int shift = 8 * (pass < 8 ? pass : pass - 8);
+    const auto byte_of = [pass, shift](const KeyedIndex& kv) {
+      const std::uint64_t w =
+          pass < 8 ? kv.k : static_cast<std::uint64_t>(kv.tree);
+      return static_cast<std::size_t>((w >> shift) & 0xFF);
+    };
+    count.fill(0);
+    for (std::size_t i = 0; i < n; ++i) ++count[byte_of(src[i])];
+    if (count[byte_of(src[0])] == n) continue;  // uniform byte: no movement
+    std::size_t sum = 0;
+    for (std::size_t& c : count) {
+      const std::size_t t = c;
+      c = sum;
+      sum += t;
+    }
+    for (std::size_t i = 0; i < n; ++i) dst[count[byte_of(src[i])]++] = src[i];
+    std::swap(src, dst);
+  }
+
+  std::vector<Octant> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = v[src[i].i];
+  v.swap(out);
+}
+
+void radix_sort_unique_sfc(std::vector<Octant>& v) {
+  radix_sort_sfc(v);
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace alps::octree

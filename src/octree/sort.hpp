@@ -1,0 +1,28 @@
+#pragma once
+// LSD radix sort on space-filling-curve keys. The octree hot paths
+// (ghost layer, balance requirement routing, mesh extraction) sort large
+// octant arrays into sfc order; a comparator sort pays a morton_encode
+// per comparison, O(N log N) encodes total. The radix sort encodes each
+// key once and makes a constant number of counting passes — passes whose
+// byte is uniform across the array (most of them: coarse forests leave
+// the low Morton bytes and the tree bytes constant) are skipped.
+//
+// Key layout per octant, least significant first:
+//   level (5 bits) | morton (57 bits)   -> one uint64 word
+//   tree (32 bits)                      -> second word
+// Byte-wise LSD over (word0, word1) with a stable counting pass per
+// byte reproduces sfc_compare = (tree, morton, level) exactly.
+
+#include <vector>
+
+#include "octree/octant.hpp"
+
+namespace alps::octree {
+
+/// Sort `v` into sfc_less order (equivalent to std::sort with sfc_less).
+void radix_sort_sfc(std::vector<Octant>& v);
+
+/// radix_sort_sfc followed by removal of exact duplicates.
+void radix_sort_unique_sfc(std::vector<Octant>& v);
+
+}  // namespace alps::octree

@@ -132,7 +132,16 @@ void Simulation::update_velocity() {
 void Simulation::extract_and_rebuild(std::span<const double> element_temps) {
   {
     OBS_PHASE_SPAN("amr.extract_mesh");
-    mesh_ = mesh::extract_mesh(*comm_, forest_);
+    // One ghost layer per adaptation, shared with the extractor. The
+    // incremental path reuses the previous mesh's corner constraints when
+    // ownership ranges are unchanged (no repartition since the last
+    // extraction) and falls back to a full rebuild otherwise.
+    std::vector<octree::Octant> ghosts =
+        mesh::ghost_layer(*comm_, forest_.tree(), forest_.connectivity());
+    mesh::ExtractStats stats;
+    mesh_ = mesh::extract_mesh_incremental(*comm_, forest_, std::move(ghosts),
+                                           mesh_, &stats);
+    last_extract_ = stats;
   }
   amg_cache_.bump_epoch();  // new mesh: every cached AMG structure is stale
   temperature_ = mesh::from_element_values(*comm_, mesh_, element_temps);
@@ -231,10 +240,25 @@ void Simulation::adapt_once() {
 
   // PARTITIONTREE + TRANSFERFIELDS. octree::partition accumulates the two
   // stages into the amr.partition / amr.transfer_fields phases itself.
-  octree::LeafPayload payload{8, std::move(ev)};
-  octree::LeafPayload* ps[] = {&payload};
-  forest_.partition(*comm_, ps);
-  ev = std::move(payload.data);
+  // With a partition_threshold set, adaptations that keep the element
+  // distribution balanced enough skip both stages; ownership ranges then
+  // stay fixed and EXTRACTMESH below runs incrementally.
+  bool repartition = true;
+  if (cfg_.partition_threshold > 0.0) {
+    const std::int64_t total = comm_->allreduce_sum(tree.num_local());
+    const std::int64_t mx = comm_->allreduce_max(tree.num_local());
+    const double imbalance =
+        total > 0 ? static_cast<double>(mx) * comm_->size() /
+                        static_cast<double>(total)
+                  : 1.0;
+    repartition = imbalance > cfg_.partition_threshold;
+  }
+  if (repartition) {
+    octree::LeafPayload payload{8, std::move(ev)};
+    octree::LeafPayload* ps[] = {&payload};
+    forest_.partition(*comm_, ps);
+    ev = std::move(payload.data);
+  }
 
   // EXTRACTMESH + nodal rebuild.
   extract_and_rebuild(ev);
@@ -253,6 +277,7 @@ void Simulation::run(int steps) {
   const obs::CounterId vcycles_id = obs::wellknown::amg_vcycles();
   for (int s = 0; s < steps; ++s) {
     const std::uint64_t vc0 = obs::counter_value(comm_->rank(), vcycles_id);
+    const PhaseTimers phases0 = timers();
     bool adapted = false;
     if (steps_ > 0 && cfg_.adapt_every > 0 && steps_ % cfg_.adapt_every == 0) {
       adapt_once();
@@ -307,10 +332,27 @@ void Simulation::run(int steps) {
       drift_json = update_mem_drift(mrec, adapted);
     }
 
-    if (obs::telemetry_enabled())
+    if (obs::telemetry_enabled()) {
+      // This step's phase seconds on the calling rank (rank 0 writes them
+      // into the "timings" telemetry block).
+      PhaseTimers pd = timers();
+      pd.mark_elements -= phases0.mark_elements;
+      pd.coarsen_refine -= phases0.coarsen_refine;
+      pd.balance -= phases0.balance;
+      pd.partition -= phases0.partition;
+      pd.extract_mesh -= phases0.extract_mesh;
+      pd.interpolate_fields -= phases0.interpolate_fields;
+      pd.transfer_fields -= phases0.transfer_fields;
+      pd.time_integration -= phases0.time_integration;
+      pd.stokes_assemble -= phases0.stokes_assemble;
+      pd.amg_setup -= phases0.amg_setup;
+      pd.amg_apply -= phases0.amg_apply;
+      pd.minres -= phases0.minres;
       emit_step_telemetry(
-          dt, obs::counter_value(comm_->rank(), vcycles_id) - vc0,
-          analyzed ? &arec : nullptr, mem_on ? &mrec : nullptr, drift_json);
+          dt, obs::counter_value(comm_->rank(), vcycles_id) - vc0, adapted,
+          pd, analyzed ? &arec : nullptr, mem_on ? &mrec : nullptr,
+          drift_json);
+    }
     // The drift record is in the telemetry tail by now, so the flight
     // recorder captures it. The trip is computed from allgathered data,
     // so every rank reaches this together.
@@ -463,8 +505,8 @@ void Simulation::mem_drift_panic() {
 }
 
 void Simulation::emit_step_telemetry(
-    double dt, std::uint64_t step_vcycles,
-    const obs::analysis::StepRecord* analysis,
+    double dt, std::uint64_t step_vcycles, bool adapted,
+    const PhaseTimers& step_phases, const obs::analysis::StepRecord* analysis,
     const obs::analysis::MemRecord* mem, const std::string& drift_json) {
   // Collective statistics first (every rank participates), then one rank
   // writes the record.
@@ -524,6 +566,33 @@ void Simulation::emit_step_telemetry(
       .field("t_min", phys.t_min)
       .field("t_max", phys.t_max)
       .field("t_mean", phys.t_mean);
+  {
+    // Rank 0's per-phase seconds for this step: the AMR cycle stages (all
+    // ~0 on non-adapting steps), the extraction reuse statistics of the
+    // most recent EXTRACTMESH, and the solver phases so consumers can
+    // compute the AMR share of the step (Fig. 10).
+    std::ostringstream os;
+    os.precision(9);
+    os << "{\"adapted\":" << (adapted ? "true" : "false")
+       << ",\"mark\":" << step_phases.mark_elements
+       << ",\"coarsen_refine\":" << step_phases.coarsen_refine
+       << ",\"balance\":" << step_phases.balance
+       << ",\"partition\":" << step_phases.partition
+       << ",\"extract\":" << step_phases.extract_mesh
+       << ",\"interpolate\":" << step_phases.interpolate_fields
+       << ",\"transfer\":" << step_phases.transfer_fields
+       << ",\"time_integration\":" << step_phases.time_integration
+       << ",\"stokes\":"
+       << step_phases.minres + step_phases.amg_setup + step_phases.amg_apply +
+              step_phases.stokes_assemble;
+    if (adapted)
+      os << ",\"extract_reused\":" << last_extract_.reused
+         << ",\"extract_recomputed\":" << last_extract_.recomputed
+         << ",\"extract_fallback\":"
+         << (last_extract_.fallback ? "true" : "false");
+    os << "}";
+    rec.field_json("timings", os.str());
+  }
   if (analysis != nullptr)
     rec.field_json("critical_path",
                    obs::analysis::critical_path_json(*analysis))
