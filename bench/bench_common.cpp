@@ -84,6 +84,7 @@ void Reporter::snapshot_obs(const std::string& label) {
   s.counters = alps::obs::aggregate_counters();
   s.analysis = alps::obs::analysis::summarize(alps::obs::analysis::step_records());
   alps::obs::analysis::reset_records();
+  s.latency = alps::obs::aggregate_hists();
   s.hw = alps::obs::aggregate_hw();
   s.mem_enabled = alps::obs::mem_enabled();
   if (s.mem_enabled) {
@@ -121,6 +122,21 @@ void Reporter::save(const std::string& path) {
                    alps::obs::analysis::critical_path_json(s.analysis));
       j_.field_raw("wait_states",
                    alps::obs::analysis::wait_states_json(s.analysis));
+    }
+    if (!s.latency.empty()) {
+      j_.arr_open("latency");
+      for (const auto& [name, h] : s.latency) {
+        j_.obj_open()
+            .field("phase", name)
+            .field("count", h.count())
+            .field("sum_s", h.sum())
+            .field("p50_s", h.quantile(0.5))
+            .field("p95_s", h.quantile(0.95))
+            .field("p99_s", h.quantile(0.99))
+            .field("max_s", h.max())
+            .obj_close();
+      }
+      j_.arr_close();
     }
     if (!s.hw.empty()) {
       j_.arr_open("hw");

@@ -32,13 +32,28 @@
 //   mem_drift_panic_bytes_per_step (0)        flight-recorder threshold
 //   mem_drift_inject_rank (-1)  test hook: synthetic linear leak on this
 //   mem_drift_inject_bytes (0)  rank, growing by this many bytes per step
+//   signal_self_step (-1)   test hook: raise SIGTERM after this step, to
+//                           exercise the graceful-shutdown path
 //
 // Observability: ALPS_TELEMETRY=1 streams one JSONL record per time step
 // to ALPS_TELEMETRY_OUT (default alps_telemetry.jsonl). If the sentinels
 // trip (or nan_inject_step fires), a flight-recorder bundle is written to
-// ALPS_DUMP_DIR and the driver exits with code 3.
+// ALPS_DUMP_DIR and the driver exits with code 3 (after lingering
+// ALPS_METRICS_LINGER seconds when the metrics endpoint is up, so an
+// external prober can observe the 503). ALPS_METRICS_PORT starts the
+// rank-0 live endpoint (obs::serve); the bound port is printed as
+// "metrics: serving on port N".
+//
+// SIGTERM/SIGINT request a graceful shutdown: every rank finishes the
+// current step, breaks out of the loop together, the trace ring and
+// telemetry tail are flushed, and the driver exits with code 130. A
+// second signal hard-exits immediately.
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -49,6 +64,7 @@
 #include "mesh/fields.hpp"
 #include "obs/dump.hpp"
 #include "obs/obs.hpp"
+#include "obs/serve.hpp"
 #include "obs/telemetry.hpp"
 #include "par/runtime.hpp"
 #include "rhea/simulation.hpp"
@@ -56,6 +72,15 @@
 using namespace alps;
 
 namespace {
+
+/// Signals received so far. The handler only bumps the counter (async-
+/// signal-safe); the step loop polls it at a collective point so every
+/// rank breaks together. A second signal hard-exits: the user asked twice.
+std::atomic<int> g_signals{0};
+
+void on_signal(int) {
+  if (g_signals.fetch_add(1, std::memory_order_relaxed) >= 1) _exit(130);
+}
 
 struct Config {
   std::map<std::string, std::string> kv;
@@ -153,7 +178,18 @@ int main(int argc, char** argv) {
 
   const int ranks = std::max(1, cfg.integer("ranks", 2));
   const int steps = std::max(1, cfg.integer("steps", 6));
+  // Line-buffer stdout even when piped: the metrics scraper and the signal
+  // tests read our progress lines from a pipe mid-run.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
   std::printf("RHEA driver: %d ranks, %d steps\n", ranks, steps);
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  const int metrics_port = obs::serve_maybe_start();
+  if (metrics_port >= 0)
+    std::printf("metrics: serving on port %d\n", metrics_port);
+  obs::metrics_set_target_steps(steps);
 
   try {
   alps::par::run(ranks, [&cfg, steps](par::Comm& comm) {
@@ -203,13 +239,21 @@ int main(int argc, char** argv) {
     });
 
     const std::string vtk_prefix = cfg.str("vtk_prefix", "");
+    const int signal_self_step = cfg.integer("signal_self_step", -1);
     int snapshot = 0;
     if (comm.rank() == 0)
       std::printf("\n%6s %10s %10s %12s\n", "step", "time", "elements",
                   "v_rms");
     for (int s = 0; s < steps; ++s) {
+      // Graceful shutdown: the handler set a process-global flag; the
+      // allreduce makes the break collective so no rank is left waiting
+      // inside a later collective.
+      if (comm.allreduce_or(g_signals.load(std::memory_order_relaxed) > 0))
+        break;
       const std::size_t adapts_before = sim.adapt_history().size();
       sim.run(1);
+      if (s + 1 == signal_self_step && comm.rank() == 0)
+        std::raise(SIGTERM);
       double v2 = 0, n = 0;
       for (std::int64_t d = 0; d < sim.mesh().n_owned; ++d) {
         for (int c = 0; c < 3; ++c) {
@@ -244,10 +288,14 @@ int main(int argc, char** argv) {
   });
   } catch (const rhea::SentinelError& e) {
     // The flight-recorder bundle was written before the throw; report the
-    // structured failure and exit distinctly so CI can assert on it.
+    // structured failure and exit distinctly so CI can assert on it. The
+    // simulation marked the endpoint unhealthy before throwing — keep
+    // serving the 503 briefly so an external prober can observe it.
     std::fprintf(stderr, "rhea: SENTINEL TRIP: %s\n", e.what());
     std::fprintf(stderr, "rhea: flight-recorder bundle in %s\n",
                  obs::dump_dir().c_str());
+    obs::metrics_linger_if_unhealthy();
+    obs::serve_stop();
     return 3;
   }
 
@@ -261,5 +309,13 @@ int main(int argc, char** argv) {
     std::printf("telemetry: %llu records in %s\n",
                 static_cast<unsigned long long>(obs::telemetry_records()),
                 obs::telemetry_path().c_str());
+  obs::serve_stop();
+  if (g_signals.load(std::memory_order_relaxed) > 0) {
+    // The trace and telemetry flushes above already ran — the JSONL file
+    // holds every completed step and the trace (when ALPS_TRACE is set)
+    // covers the truncated run. 130 = terminated by signal, softly.
+    std::fprintf(stderr, "rhea: interrupted, shut down cleanly\n");
+    return 130;
+  }
   return 0;
 }

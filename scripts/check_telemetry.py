@@ -13,6 +13,9 @@ JSONL mode (default):
     phases (extract in particular) at zero on non-adapting steps, and
     the extraction reuse statistics, when present, are non-negative
     counts plus a bool fallback flag,
+  * optional "latency" blocks (per-phase histogram quantiles) carry,
+    per phase, a positive sample count and quantiles ordered
+    p50 <= p95 <= p99 <= max with max <= sum <= count * max,
   * optional "memory" blocks obey the accounting invariants: imbalance
     >= 1, min <= mean <= max <= hwm, the accounted and RSS high-water
     marks never decrease across records, accounted total <= global RSS
@@ -118,6 +121,44 @@ def check_memory_block(mem, where, hwm_state) -> None:
         fail(f"{where}: accounted total {total} exceeds RSS {rmax}")
 
 
+def check_latency_block(lat, where) -> None:
+    """Validate one record's "latency" block: per-phase quantiles from
+    the merged cross-rank histograms. Quantiles are nearest-rank, so they
+    must be monotone in q and bounded by the exact max; the sum of count
+    samples is bounded by [max, count * max]."""
+    if not isinstance(lat, dict):
+        fail(f"{where}: \"latency\" is not an object")
+    phases = lat.get("phases")
+    if not isinstance(phases, list):
+        fail(f"{where}: latency.phases missing or not a list")
+    seen = set()
+    for p in phases:
+        if not isinstance(p, dict) or not isinstance(p.get("phase"), str):
+            fail(f"{where}: latency phase entry malformed: {p!r}")
+        name = p["phase"]
+        if name in seen:
+            fail(f"{where}: latency phase {name!r} duplicated")
+        seen.add(name)
+        count = p.get("count")
+        if not isinstance(count, int) or count < 1:
+            fail(f"{where}: latency.{name}.count not a positive int: "
+                 f"{count!r}")
+        s = _num(p, "sum_s", where)
+        p50 = _num(p, "p50_s", where)
+        p95 = _num(p, "p95_s", where)
+        p99 = _num(p, "p99_s", where)
+        mx = _num(p, "max_s", where)
+        if not (0 <= p50 <= p95 <= p99 <= mx):
+            fail(f"{where}: latency.{name} quantiles out of order "
+                 f"({p50}/{p95}/{p99}/{mx})")
+        # FP slack: sum accumulates count rounded terms.
+        if not (mx <= s * (1 + 1e-9) + 1e-12):
+            fail(f"{where}: latency.{name} sum {s} below max {mx}")
+        if s > count * mx * (1 + 1e-9) + 1e-12:
+            fail(f"{where}: latency.{name} sum {s} exceeds "
+                 f"count * max = {count * mx}")
+
+
 TIMING_KEYS = [
     "mark", "coarsen_refine", "balance", "partition", "extract",
     "interpolate", "transfer", "time_integration", "stokes",
@@ -165,6 +206,7 @@ def check_jsonl(path: str, min_records: int) -> None:
     hwm_state = {}
     mem_records = 0
     timing_records = 0
+    latency_records = 0
     for i, line in enumerate(lines, start=1):
         try:
             rec = json.loads(line)
@@ -204,12 +246,16 @@ def check_jsonl(path: str, min_records: int) -> None:
         if "timings" in rec:
             check_timings_block(rec["timings"], f"{path}:{i}")
             timing_records += 1
+        if "latency" in rec:
+            check_latency_block(rec["latency"], f"{path}:{i}")
+            latency_records += 1
         prev_step, prev_time = rec["step"], rec["time"]
 
     print(f"check_telemetry: OK: {len(lines)} records in {path}, "
           f"steps {lines and json.loads(lines[0])['step']}..{prev_step}, "
           f"{mem_records} with memory blocks, "
-          f"{timing_records} with timings blocks")
+          f"{timing_records} with timings blocks, "
+          f"{latency_records} with latency blocks")
 
 
 def check_bundle(dump_dir: str) -> None:

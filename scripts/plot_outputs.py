@@ -27,6 +27,11 @@ Records with a "timings" block additionally get a <base>_amr.png: the
 AMR cycle phases (mark / coarsen+refine / balance / partition / extract /
 interpolate / transfer) stacked per step on top, and the AMR share of
 the total step time below (adaptation steps marked).
+
+Records with a "latency" block (the per-step cross-rank histogram
+quantiles, DESIGN.md section 14) additionally get a <base>_latency.png:
+per-phase p50 / p95 / p99 duration time-series over steps, log-scaled,
+one subplot column of the busiest phases.
 """
 
 import csv
@@ -280,6 +285,76 @@ def plot_amr(path):
     return out
 
 
+def load_latency(path):
+    """Per-step latency quantile series: (steps, {phase: {q: [seconds]}},
+    {phase: total count}). Missing phases carry None for that step."""
+    steps = []
+    phases = {}
+    counts = {}
+    qkeys = ("p50_s", "p95_s", "p99_s")
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            lat = rec.get("latency")
+            if "step" not in rec or not isinstance(lat, dict):
+                continue
+            steps.append(rec["step"])
+            n = len(steps)
+            for ph in lat.get("phases", []):
+                per = phases.setdefault(ph["phase"],
+                                        {q: [] for q in qkeys})
+                for q in qkeys:
+                    per[q].extend([None] * (n - 1 - len(per[q])))
+                    per[q].append(ph.get(q))
+                counts[ph["phase"]] = counts.get(ph["phase"], 0)                     + ph.get("count", 0)
+    for per in phases.values():
+        for q in per:
+            per[q].extend([None] * (len(steps) - len(per[q])))
+    return steps, phases, counts
+
+
+def plot_latency(path, max_phases=8):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    steps, phases, counts = load_latency(path)
+    if not steps:
+        print(f"skip {path}: no latency records")
+        return None
+
+    # The busiest phases tell the story; cap the subplot count.
+    names = sorted(phases, key=lambda ph: -counts.get(ph, 0))[:max_phases]
+    fig, axes = plt.subplots(len(names), 1, figsize=(10, 2.2 * len(names)),
+                             sharex=True, squeeze=False)
+    styles = {"p50_s": ("p50", "-"), "p95_s": ("p95", "--"),
+              "p99_s": ("p99", ":")}
+    for ax, name in zip((a for row in axes for a in row), names):
+        per = phases[name]
+        for q, (label, ls) in styles.items():
+            pts = [(s, v) for s, v in zip(steps, per[q])
+                   if isinstance(v, (int, float)) and v > 0]
+            if pts:
+                ax.plot([p[0] for p in pts], [p[1] for p in pts], ls,
+                        marker=".", ms=3, lw=1, label=label)
+        ax.set_yscale("log")
+        ax.set_ylabel(f"{name}\n[s]", fontsize=8)
+        ax.legend(fontsize=7, loc="upper right", ncol=3)
+    axes[0][0].set_title(os.path.basename(path))
+    axes[-1][0].set_xlabel("step")
+
+    out = path.rsplit(".", 1)[0] + "_latency.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    plt.close(fig)
+    print(f"wrote {out}")
+    return out
+
+
 def plot_csv(path, cols):
     import matplotlib
 
@@ -329,6 +404,8 @@ def main():
                     made += 1
                 if plot_amr(full):
                     made += 1
+                if plot_latency(full):
+                    made += 1
         if made == 0:
             print(f"no telemetry JSONL with analyzed steps under {path}")
             return 1
@@ -337,6 +414,7 @@ def main():
         made = 1 if plot_telemetry(path) else 0
         made += 1 if plot_memory(path) else 0
         made += 1 if plot_amr(path) else 0
+        made += 1 if plot_latency(path) else 0
         return 0 if made else 1
     plot_csv(path, load(path))
     return 0

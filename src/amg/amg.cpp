@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "amg/classical.hpp"
+#include "obs/histogram.hpp"
 #include "obs/telemetry.hpp"
 
 namespace alps::amg {
@@ -241,6 +242,7 @@ void Amg::cycle(std::size_t lvl, std::span<const double> b,
 }
 
 void Amg::vcycle(std::span<const double> b, std::span<double> x) const {
+  OBS_HIST_SPAN("amg.vcycle");
   cycle(0, b, x);
 }
 

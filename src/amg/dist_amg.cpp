@@ -6,6 +6,7 @@
 #include <string>
 
 #include "amg/classical.hpp"
+#include "obs/histogram.hpp"
 #include "obs/hwcounters.hpp"
 #include "obs/obs.hpp"
 #include "obs/telemetry.hpp"
@@ -787,6 +788,7 @@ void DistAmg::vcycle(par::Comm& comm, std::span<const double> b,
                      std::span<double> x) const {
   OBS_SPAN("amg.vcycle");
   OBS_HW_SPAN("amg.vcycle");
+  OBS_HIST_SPAN("amg.vcycle");
   obs::counter_add(obs::wellknown::amg_vcycles(), 1);
   cycle(comm, 0, b, x);
 }

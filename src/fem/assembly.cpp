@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/histogram.hpp"
 #include "obs/hwcounters.hpp"
 
 namespace alps::fem {
@@ -379,6 +380,7 @@ void ElementOperator::apply_raw(par::Comm& comm, std::span<const double> x,
                                 std::span<double> y) const {
   ensure_plan();
   OBS_HW_SPAN("fem.apply");
+  OBS_HIST_SPAN("fem.apply");
   apply_batched(comm, plan_.w_raw.data(), x, y);
   mesh_->exchange_start(comm, y, ncomp_);
   mesh_->exchange_finish(comm, y, ncomp_);
@@ -388,6 +390,7 @@ void ElementOperator::apply(par::Comm& comm, std::span<const double> x,
                             std::span<double> y) const {
   ensure_plan();
   OBS_HW_SPAN("fem.apply");
+  OBS_HIST_SPAN("fem.apply");
   apply_batched(comm, plan_.w_bc.data(), x, y);
   // Identity rows: the masked weights dropped every contribution into a
   // constrained row, so owned Dirichlet values are restored from x before

@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "la/krylov.hpp"
+#include "obs/histogram.hpp"
 #include "obs/obs.hpp"
 
 namespace alps::la {
@@ -10,6 +11,7 @@ SolveResult cg(const LinOp& op, std::span<const double> b,
                std::span<double> x, const LinOp& precond,
                const MultiDotFn& dots, const KrylovOptions& opt) {
   OBS_SPAN("la.cg");
+  OBS_HIST_SPAN("la.cg");
   const std::size_t n = x.size();
   std::vector<double> r(n), z(n), p(n), ap(n);
   std::uint64_t syncs = 0;

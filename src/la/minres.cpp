@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "la/krylov.hpp"
+#include "obs/histogram.hpp"
 #include "obs/obs.hpp"
 
 namespace alps::la {
@@ -10,6 +11,7 @@ SolveResult minres(const LinOp& op, std::span<const double> b,
                    std::span<double> x, const LinOp& precond,
                    const MultiDotFn& dots, const KrylovOptions& opt) {
   OBS_SPAN("la.minres");
+  OBS_HIST_SPAN("la.minres");
   const std::size_t n = x.size();
   std::vector<double> v(n), v_old(n, 0.0), v_new(n), z(n), z_new(n);
   std::vector<double> w(n, 0.0), w_old(n, 0.0), w_new(n), az(n);

@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "obs/mem.hpp"
 #include "par/comm.hpp"
@@ -28,6 +29,7 @@ struct WaitCum {
 struct RankBaseline {
   std::map<std::string, double> phases;
   std::map<std::string, WaitCum> waits;
+  std::map<std::string, Histogram> hists;  // cumulative as of last report
 };
 
 struct AnalysisState {
@@ -35,6 +37,9 @@ struct AnalysisState {
   std::uint64_t generation = 0;
   std::vector<RankBaseline> baselines;
   std::vector<StepRecord> records;  // written by rank 0 only
+  // Run-cumulative cross-rank histograms: every step's merged deltas
+  // added in (rank 0 only). Exact because bucket merging is.
+  std::map<std::string, Histogram> cum_hists;
 };
 
 AnalysisState& state() {
@@ -52,6 +57,7 @@ RankBaseline& baseline_for(int rank, int nranks) {
     s.generation = gen;
     s.baselines.assign(static_cast<std::size_t>(nranks), RankBaseline{});
     s.records.clear();
+    s.cum_hists.clear();
   }
   if (s.baselines.size() < static_cast<std::size_t>(nranks))
     s.baselines.resize(static_cast<std::size_t>(nranks));
@@ -64,6 +70,15 @@ RankBaseline& baseline_for(int rank, int nranks) {
 //   u32 n_phases   { u32 len, chars, f64 seconds } ...
 //   u32 n_waits    { u32 len, chars, f64 x6 buckets, u64 x4 counts,
 //                    u32 n_srcs { i32 rank, f64 seconds } ... } ...
+//   u32 n_counters { u32 len, chars, u64 value } ...          (cumulative)
+//   u32 n_gauges   { u32 len, chars, f64 value } ...       (instantaneous)
+//   u32 n_hists    { u32 len, chars, f64 sum, f64 min, f64 max,
+//                    u32 n_nonzero { u32 bucket, u64 count } ... } ...
+// The counter and histogram sections piggyback on the same allgatherv the
+// wait-state analysis already pays for — the metrics endpoint adds zero
+// collectives per step. Histograms ship as sparse step deltas (bucket
+// counts difference exactly); counters ship cumulative values (monotone,
+// so rank sums are directly Prometheus-exposable).
 
 void put_u32(std::vector<std::byte>& b, std::uint32_t v) {
   const std::size_t off = b.size();
@@ -121,6 +136,9 @@ struct Reader {
 struct RankDelta {
   std::map<std::string, double> phases;
   std::map<std::string, WaitCum> waits;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // cumulative
+  std::vector<std::pair<std::string, double>> gauges;  // instantaneous
+  std::map<std::string, Histogram> hists;  // step-window deltas
 };
 
 std::vector<std::byte> encode(const RankDelta& d) {
@@ -148,6 +166,32 @@ std::vector<std::byte> encode(const RankDelta& d) {
       put_i32(b, src);
       put_f64(b, sec);
     }
+  }
+  put_u32(b, static_cast<std::uint32_t>(d.counters.size()));
+  for (const auto& [name, value] : d.counters) {
+    put_str(b, name);
+    put_u64(b, value);
+  }
+  put_u32(b, static_cast<std::uint32_t>(d.gauges.size()));
+  for (const auto& [name, value] : d.gauges) {
+    put_str(b, name);
+    put_f64(b, value);
+  }
+  put_u32(b, static_cast<std::uint32_t>(d.hists.size()));
+  for (const auto& [name, h] : d.hists) {
+    put_str(b, name);
+    put_f64(b, h.sum());
+    put_f64(b, h.min());
+    put_f64(b, h.max());
+    std::uint32_t nonzero = 0;
+    for (int i = 0; i < Histogram::kBucketCount; ++i)
+      if (h.bucket(i) > 0) ++nonzero;
+    put_u32(b, nonzero);
+    for (int i = 0; i < Histogram::kBucketCount; ++i)
+      if (h.bucket(i) > 0) {
+        put_u32(b, static_cast<std::uint32_t>(i));
+        put_u64(b, h.bucket(i));
+      }
   }
   return b;
 }
@@ -178,6 +222,33 @@ RankDelta decode(const std::byte* p, std::size_t n) {
     for (std::uint32_t j = 0; j < ns && r.p < r.end; ++j) {
       const int src = r.get<std::int32_t>();
       c.late_by_rank[src] = r.get<double>();
+    }
+  }
+  const std::uint32_t nc = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < nc && r.p < r.end; ++i) {
+    std::string name = r.str();
+    d.counters.emplace_back(std::move(name), r.get<std::uint64_t>());
+  }
+  const std::uint32_t ng = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < ng && r.p < r.end; ++i) {
+    std::string name = r.str();
+    d.gauges.emplace_back(std::move(name), r.get<double>());
+  }
+  const std::uint32_t nh = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < nh && r.p < r.end; ++i) {
+    std::string name = r.str();
+    Histogram& h = d.hists[name];
+    const double sum = r.get<double>();
+    const double mn = r.get<double>();
+    const double mx = r.get<double>();
+    // Range before buckets: expand_range seeds min/max only while the
+    // histogram is still empty.
+    h.expand_range(mn, mx);
+    h.add_sum(sum);
+    const std::uint32_t nb = r.get<std::uint32_t>();
+    for (std::uint32_t j = 0; j < nb && r.p < r.end; ++j) {
+      const std::uint32_t idx = r.get<std::uint32_t>();
+      h.add_bucket(static_cast<int>(idx), r.get<std::uint64_t>());
     }
   }
   return d;
@@ -227,6 +298,17 @@ RankDelta local_delta(int rank, int nranks) {
         delta.w.collective_s > 0)
       d.waits[s.phase] = delta;
     prev = cur;
+  }
+
+  // Counters ship cumulative (monotone, no baseline needed); histograms
+  // ship the step window against the cumulative baseline.
+  d.counters = counter_snapshot();
+  d.gauges = gauge_snapshot();
+  for (auto& [name, cur] : hist_samples()) {
+    Histogram& prev = base.hists[name];
+    Histogram delta = cur.delta_since(prev);
+    if (!delta.empty()) d.hists[name] = std::move(delta);
+    prev = std::move(cur);
   }
   return d;
 }
@@ -313,6 +395,27 @@ StepRecord stitch(const std::vector<RankDelta>& deltas, int step) {
                                 b.w.collective_s;
               return ba > bb;
             });
+
+  // Latency: exact elementwise merge of every rank's step-window
+  // histogram, and rank-summed cumulative counters.
+  std::map<std::string, Histogram> lat;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeStat> gauges;
+  for (int r = 0; r < nranks; ++r) {
+    const RankDelta& d = deltas[static_cast<std::size_t>(r)];
+    for (const auto& [name, h] : d.hists) lat[name].merge(h);
+    for (const auto& [name, v] : d.counters) counters[name] += v;
+    for (const auto& [name, v] : d.gauges) {
+      GaugeStat& g = gauges[name];
+      g.name = name;
+      g.sum += v;
+      g.max = std::max(g.max, v);
+    }
+  }
+  for (auto& [name, h] : lat)
+    rec.latency.push_back(PhaseLatency{name, std::move(h)});
+  rec.counters.assign(counters.begin(), counters.end());
+  for (auto& [name, g] : gauges) rec.gauges.push_back(std::move(g));
   return rec;
 }
 
@@ -393,9 +496,16 @@ StepRecord analyze_step(par::Comm& comm, int step) {
   if (comm.rank() == 0) {
     AnalysisState& s = state();
     std::lock_guard<std::mutex> lock(s.mtx);
+    for (const PhaseLatency& l : rec.latency) s.cum_hists[l.phase].merge(l.hist);
     s.records.push_back(rec);
   }
   return rec;
+}
+
+std::vector<std::pair<std::string, Histogram>> merged_histograms() {
+  AnalysisState& s = state();
+  std::lock_guard<std::mutex> lock(s.mtx);
+  return {s.cum_hists.begin(), s.cum_hists.end()};
 }
 
 const std::vector<StepRecord>& step_records() { return state().records; }
@@ -488,6 +598,25 @@ std::string critical_path_json(const RunSummary& sum) {
 std::string wait_states_json(const RunSummary& sum) {
   std::ostringstream os;
   append_waits(os, sum.waits);
+  return os.str();
+}
+
+std::string latency_json(const StepRecord& rec) {
+  std::ostringstream os;
+  os << "{\"phases\":[";
+  bool first = true;
+  for (const PhaseLatency& l : rec.latency) {
+    if (l.hist.empty()) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"phase\":\"" << l.phase << "\",\"count\":" << l.hist.count()
+       << ",\"sum_s\":" << fmt(l.hist.sum())
+       << ",\"p50_s\":" << fmt(l.hist.quantile(0.50))
+       << ",\"p95_s\":" << fmt(l.hist.quantile(0.95))
+       << ",\"p99_s\":" << fmt(l.hist.quantile(0.99))
+       << ",\"max_s\":" << fmt(l.hist.max()) << "}";
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -25,8 +25,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "obs/obs.hpp"
 
 namespace alps::par {
@@ -55,6 +57,20 @@ struct PhaseWaits {
   double blamed_s = 0;
 };
 
+/// One phase's all-rank duration histogram for this step's window (the
+/// exact bucket merge of every rank's delta since the previous step).
+struct PhaseLatency {
+  std::string phase;
+  Histogram hist;
+};
+
+/// One per-rank gauge reduced over ranks (obs::gauge_set values).
+struct GaugeStat {
+  std::string name;
+  double sum = 0;
+  double max = 0;
+};
+
 /// Everything analyze_step derives for one timestep; identical on every
 /// rank (built from the same allgathered data).
 struct StepRecord {
@@ -64,6 +80,10 @@ struct StepRecord {
   double cp_imbalance = 1;   // cp_length_s / mean_length_s
   std::vector<PhaseCritical> critical;  // sorted by cp_s, descending
   std::vector<PhaseWaits> waits;        // sorted by blocked time, descending
+  std::vector<PhaseLatency> latency;    // sorted by name
+  // Rank-summed *cumulative* counter values (monotone; Prometheus-ready).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<GaugeStat> gauges;  // sorted by name
 };
 
 /// Collective: exchange this rank's per-phase time and wait deltas since
@@ -96,6 +116,18 @@ std::string critical_path_json(const StepRecord& rec);
 std::string wait_states_json(const StepRecord& rec);
 std::string critical_path_json(const RunSummary& sum);
 std::string wait_states_json(const RunSummary& sum);
+
+/// The telemetry "latency" block for one step's merged histograms:
+/// {"phases":[{"phase":..,"count":..,"sum_s":..,"p50_s":..,"p95_s":..,
+/// "p99_s":..,"max_s":..},..]}. Quantiles carry the histogram's ~4%
+/// relative-error bound (DESIGN.md §14).
+std::string latency_json(const StepRecord& rec);
+
+/// Run-cumulative cross-rank histograms: every step's merged deltas
+/// accumulated by rank 0's analyze_step calls in the current world —
+/// the source of the Prometheus histogram series and the bench::Reporter
+/// percentile rows. Sorted by name; copied under the analysis lock.
+std::vector<std::pair<std::string, Histogram>> merged_histograms();
 
 // ---- memory aggregation (obs/mem.hpp across ranks) ---------------------
 

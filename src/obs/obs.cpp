@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/histogram.hpp"
 #include "obs/hwcounters.hpp"
 #include "obs/mem.hpp"
 
@@ -68,6 +69,10 @@ struct RankSlot {
   std::uint64_t dropped = 0;
   std::vector<std::uint64_t> counters;
   std::unordered_map<std::string, double> phases;
+  // Duration histograms (keyed like `waits` by the name literal's
+  // address; hist_samples re-merges by content).
+  std::unordered_map<const char*, Histogram> hists;
+  std::unordered_map<const char*, double> gauges;
   // Wait-state accounting (keyed by the phase-name literal's address —
   // phase names are string literals, so the pointer is a stable key; the
   // aggregation layer re-merges by content).
@@ -213,8 +218,11 @@ Span::~Span() {
   // points for the memory peak tracker.
   if (phase_) memdetail::phase_close_tick(name_);
   const std::uint64_t t1 = now_ns();
-  if (phase_)
-    slot->phases[name_] += static_cast<double>(t1 - t0_) * 1e-9;
+  if (phase_) {
+    const double secs = static_cast<double>(t1 - t0_) * 1e-9;
+    slot->phases[name_] += secs;
+    slot->hists[name_].record(secs);
+  }
   if (record_) {
     if (slot->count < slot->ring.size())
       slot->ring[slot->count++] = SpanEvent{name_, t0_, t1 - t0_, cat_};
@@ -313,6 +321,79 @@ std::vector<std::pair<std::string, std::uint64_t>> aggregate_counters() {
   return out;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot() {
+  const RankSlot* slot = tl_slot;
+  if (slot == nullptr) return {};
+  State& s = state();
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(s.reg_mtx);
+    names = s.counter_names;
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  const std::size_t n = std::min(names.size(), slot->counters.size());
+  for (std::size_t id = 0; id < n; ++id)
+    if (slot->counters[id] > 0) out.emplace_back(names[id], slot->counters[id]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- gauges ------------------------------------------------------------
+
+void gauge_set(const char* name, double value) {
+  RankSlot* slot = tl_slot;
+  if (slot == nullptr) return;
+  slot->gauges[name] = value;
+}
+
+std::vector<std::pair<std::string, double>> gauge_snapshot() {
+  const RankSlot* slot = tl_slot;
+  if (slot == nullptr) return {};
+  std::map<std::string, double> merged;
+  for (const auto& [name, v] : slot->gauges) merged[name] = v;
+  return {merged.begin(), merged.end()};
+}
+
+// ---- histograms --------------------------------------------------------
+
+void hist_record(const char* name, double seconds) {
+  RankSlot* slot = tl_slot;
+  if (slot == nullptr) return;
+  slot->hists[name].record(seconds);
+}
+
+namespace {
+
+// Merge one slot's pointer-keyed histograms by string content (identical
+// literals in different translation units may have different addresses).
+std::map<std::string, Histogram> merged_hists(const RankSlot& slot) {
+  std::map<std::string, Histogram> merged;
+  for (const auto& [name, h] : slot.hists) merged[name].merge(h);
+  return merged;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, Histogram>> hist_samples(int rank) {
+  const auto merged = merged_hists(checked_slot(rank));
+  return {merged.begin(), merged.end()};
+}
+
+std::vector<std::pair<std::string, Histogram>> hist_samples() {
+  RankSlot* slot = tl_slot;
+  return slot != nullptr
+             ? hist_samples(slot->rank)
+             : std::vector<std::pair<std::string, Histogram>>{};
+}
+
+std::vector<std::pair<std::string, Histogram>> aggregate_hists() {
+  State& s = state();
+  std::map<std::string, Histogram> merged;
+  for (const auto& slot : s.slots)
+    for (const auto& [name, h] : merged_hists(*slot)) merged[name].merge(h);
+  return {merged.begin(), merged.end()};
+}
+
 // ---- phases -----------------------------------------------------------
 
 void phase_add(const char* name, double seconds) {
@@ -385,6 +466,9 @@ std::uint64_t self_memory_bytes() {
   b += slot->phases.size() *
        (sizeof(std::string) + sizeof(double) + 2 * sizeof(void*));
   b += slot->waits.size() * (sizeof(PhaseWaitSlot) + 2 * sizeof(void*));
+  b += slot->hists.size() *
+       (sizeof(Histogram) + Histogram::kBucketCount * sizeof(std::uint64_t) +
+        2 * sizeof(void*));
   b += slot->flow_seq.size() *
        (sizeof(std::uint64_t) + sizeof(std::uint32_t) + 2 * sizeof(void*));
   return b;

@@ -13,6 +13,7 @@
 #include "obs/dump.hpp"
 #include "obs/mem.hpp"
 #include "obs/obs.hpp"
+#include "obs/serve.hpp"
 #include "obs/telemetry.hpp"
 #include "octree/mark.hpp"
 #include "octree/partition.hpp"
@@ -279,13 +280,19 @@ void Simulation::run(int steps) {
     const std::uint64_t vc0 = obs::counter_value(comm_->rank(), vcycles_id);
     const PhaseTimers phases0 = timers();
     bool adapted = false;
+    // True only when a Stokes solve ran THIS step: last_stokes_ persists
+    // across steps, and the endpoint's stagnation tracker must not recount
+    // a stale result on energy-only steps.
+    bool stokes_solved = false;
     if (steps_ > 0 && cfg_.adapt_every > 0 && steps_ % cfg_.adapt_every == 0) {
       adapt_once();
       update_velocity();
       adapted = true;
+      stokes_solved = !cfg_.prescribed_velocity;
     } else if (!cfg_.prescribed_velocity && cfg_.stokes_every > 0 &&
                steps_ % cfg_.stokes_every == 0 && steps_ > 0) {
       update_velocity();
+      stokes_solved = true;
     } else if (cfg_.prescribed_velocity && cfg_.time_dependent_velocity) {
       update_velocity();  // analytic refresh for time-dependent fields
     }
@@ -314,11 +321,19 @@ void Simulation::run(int steps) {
       temperature_[0] = std::numeric_limits<double>::quiet_NaN();
 
     // The analyzer exchange is collective, so the gate must evaluate
-    // identically on every rank (both flags are process-global).
+    // identically on every rank (all three flags are process-global). The
+    // metrics endpoint rides on this same exchange — its element counts
+    // and latency histograms travel in the analysis blob, so serving adds
+    // zero collectives per step.
     obs::analysis::StepRecord arec;
     const bool analyzed =
-        obs::analysis_enabled() && obs::telemetry_enabled();
-    if (analyzed) arec = obs::analysis::analyze_step(*comm_, steps_);
+        obs::analysis_enabled() &&
+        (obs::telemetry_enabled() || obs::serve_active());
+    if (analyzed) {
+      obs::gauge_set("mesh.local_elements",
+                     static_cast<double>(forest_.tree().num_local()));
+      arec = obs::analysis::analyze_step(*comm_, steps_);
+    }
 
     // Memory accounting + aggregation every step (decoupled from the
     // analysis gate: the drift detector must run even without telemetry).
@@ -353,6 +368,8 @@ void Simulation::run(int steps) {
           pd, analyzed ? &arec : nullptr, mem_on ? &mrec : nullptr,
           drift_json);
     }
+    if (obs::serve_active() && analyzed && comm_->rank() == 0)
+      publish_metrics(dt, stokes_solved, arec, mem_on ? &mrec : nullptr);
     // The drift record is in the telemetry tail by now, so the flight
     // recorder captures it. The trip is computed from allgathered data,
     // so every rank reaches this together.
@@ -499,7 +516,10 @@ void Simulation::mem_drift_panic() {
   // so every rank arrives here together and the barriers keep the other
   // rank threads quiescent while rank 0 reads their obs slots.
   comm_->barrier();
-  if (comm_->rank() == 0) obs::panic_dump(mem_drift_reason_);
+  if (comm_->rank() == 0) {
+    obs::metrics_mark_unhealthy(mem_drift_reason_);
+    obs::panic_dump(mem_drift_reason_);
+  }
   comm_->barrier();
   throw SentinelError(mem_drift_reason_);
 }
@@ -596,11 +616,50 @@ void Simulation::emit_step_telemetry(
   if (analysis != nullptr)
     rec.field_json("critical_path",
                    obs::analysis::critical_path_json(*analysis))
-        .field_json("wait_states", obs::analysis::wait_states_json(*analysis));
+        .field_json("wait_states", obs::analysis::wait_states_json(*analysis))
+        .field_json("latency", obs::analysis::latency_json(*analysis));
   if (mem != nullptr)
     rec.field_json("memory",
                    obs::analysis::memory_json(*mem, mesh_.n_global, drift_json));
   obs::telemetry_emit(rec);
+}
+
+void Simulation::publish_metrics(double dt, bool stokes_solved,
+                                 const obs::analysis::StepRecord& arec,
+                                 const obs::analysis::MemRecord* mem) {
+  obs::MetricsSnapshot snap;
+  snap.step = steps_;
+  snap.sim_time = time_;
+  snap.dt = dt;
+  snap.dofs = mesh_.n_global;
+  snap.ranks = comm_->size();
+  for (const obs::analysis::GaugeStat& g : arec.gauges) {
+    if (g.name == "mesh.local_elements") {
+      snap.elements = static_cast<std::int64_t>(g.sum);
+      snap.partition_imbalance =
+          g.sum > 0 ? g.max * comm_->size() / g.sum : 1.0;
+    }
+  }
+  snap.cp_imbalance = arec.cp_imbalance;
+  snap.solver_ran = stokes_solved;
+  if (stokes_solved && !last_stokes_.solves.empty()) {
+    const la::SolveResult& kr = last_stokes_.solves.back();
+    snap.solver_status = la::to_string(kr.status);
+    snap.solver_iterations = kr.iterations;
+    snap.solver_relres = kr.relative_residual;
+    snap.picard_iterations = last_stokes_.iterations;
+  }
+  snap.counters = arec.counters;
+  snap.hists = obs::analysis::merged_histograms();
+  for (const obs::analysis::PhaseWaits& w : arec.waits)
+    snap.wait_blocked_s +=
+        w.w.late_sender_s + w.w.transfer_s + w.w.collective_s;
+  if (mem != nullptr && mem->enabled) {
+    snap.mem_available = true;
+    snap.mem_accounted_total = mem->acc_total;
+    snap.mem_rss_max = mem->rss_available ? mem->rss_max : 0;
+  }
+  obs::metrics_publish(snap);
 }
 
 void Simulation::check_sentinels() {
@@ -642,7 +701,10 @@ void Simulation::check_sentinels() {
   // barriers keep the other rank threads quiescent (and provide the
   // happens-before edges) while it does.
   comm_->barrier();
-  if (comm_->rank() == 0) obs::panic_dump(reason);
+  if (comm_->rank() == 0) {
+    obs::metrics_mark_unhealthy(reason);
+    obs::panic_dump(reason);
+  }
   comm_->barrier();
   throw SentinelError(reason);
 }

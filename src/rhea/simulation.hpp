@@ -180,6 +180,13 @@ class Simulation {
                            const obs::analysis::StepRecord* analysis,
                            const obs::analysis::MemRecord* mem,
                            const std::string& drift_json);
+  /// Rank 0 only: fill a MetricsSnapshot from this step's analysis record
+  /// (element gauges, counters, cumulative latency histograms all arrived
+  /// in the analysis exchange — no extra collectives) and hand it to the
+  /// obs::serve double buffer.
+  void publish_metrics(double dt, bool stokes_solved,
+                       const obs::analysis::StepRecord& arec,
+                       const obs::analysis::MemRecord* mem);
   void check_sentinels();
 
   /// Pull-model byte accounting: push every subsystem's current
